@@ -1,0 +1,141 @@
+"""E8 — fully controllable data velocity (Section 5.1).
+
+Three mechanisms, three sub-benchmarks:
+
+1. **parallel generators** — simulated distributed rate vs the number of
+   generator partitions (expected: ~×N speedup);
+2. **update frequency** — the update scheduler hits requested updating
+   frequencies (the facet Table 1 says no surveyed suite controls);
+3. **algorithm efficiency** — trading memory for speed (alias-method vs
+   naive inverse-CDF sampling) changes the generation rate without any
+   added parallelism.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from conftest import print_banner
+
+from repro.datagen import ParallelGenerationController, UpdateScheduler
+from repro.datagen.alias import AliasSampler, naive_sample
+from repro.datagen.text import RandomTextGenerator
+from repro.execution.report import ascii_table
+
+
+def test_parallel_generator_speedup(benchmark):
+    volume = 600
+
+    def sweep():
+        rows = []
+        for partitions in (1, 2, 4, 8):
+            controller = ParallelGenerationController(
+                RandomTextGenerator(document_length=120, seed=1),
+                num_partitions=partitions,
+            )
+            _, report = controller.run(volume)
+            rows.append(
+                {
+                    "generators": partitions,
+                    "simulated rate (doc/s)": report.simulated_rate,
+                    "speedup": report.speedup,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    print_banner("E8", "velocity mechanism 1 — parallel data generators")
+    print(ascii_table(rows))
+    # Expected shape: speedup grows with generator count, ~×N.
+    assert rows[-1]["speedup"] > rows[0]["speedup"] * 3
+    assert rows[2]["speedup"] > rows[1]["speedup"]
+
+
+def test_update_frequency_control(benchmark):
+    def drive():
+        rows = []
+        for frequency in (50.0, 200.0, 800.0):
+            scheduler = UpdateScheduler(frequency, seed=2)
+            events = scheduler.plan(duration_seconds=2.0, key_space=100)
+            achieved = len(events) / 2.0
+            state: dict[int, float] = {}
+            counts = UpdateScheduler.apply(state, events)
+            rows.append(
+                {
+                    "requested (ops/s)": frequency,
+                    "achieved (ops/s)": achieved,
+                    "updates": counts["update"],
+                    "deletes": counts["delete"],
+                }
+            )
+        return rows
+
+    rows = benchmark(drive)
+    print_banner("E8", "velocity mechanism 2 — data updating frequency")
+    print(ascii_table(rows))
+    for row in rows:
+        assert row["achieved (ops/s)"] == row["requested (ops/s)"]
+
+
+def test_algorithm_efficiency_knob(benchmark):
+    """Mechanism 3 (§5.1): a faster sampling algorithm (more memory)
+    raises the generation rate with no extra parallelism."""
+    weights = np.random.default_rng(3).random(2000)
+    cumulative = np.cumsum(weights / weights.sum())
+    sampler = AliasSampler(weights)
+    draws = 3000
+
+    def naive():
+        return naive_sample(np.random.default_rng(4), cumulative, draws)
+
+    def alias():
+        return sampler.sample(np.random.default_rng(4), draws)
+
+    started = time.perf_counter()
+    naive()
+    naive_seconds = time.perf_counter() - started
+
+    alias_result = benchmark(alias)
+    started = time.perf_counter()
+    alias()
+    alias_seconds = time.perf_counter() - started
+
+    print_banner("E8", "velocity mechanism 3 — generation algorithm efficiency")
+    print(
+        ascii_table(
+            [
+                {"sampler": "naive inverse-CDF (O(V)/draw)",
+                 "seconds": naive_seconds,
+                 "rate (draws/s)": draws / naive_seconds},
+                {"sampler": "alias table (O(1)/draw, O(V) memory)",
+                 "seconds": alias_seconds,
+                 "rate (draws/s)": draws / alias_seconds},
+            ]
+        )
+    )
+    assert len(alias_result) == draws
+    assert alias_seconds < naive_seconds
+
+
+def test_processing_speed_pacing(benchmark):
+    """Velocity meaning 3 (Section 2.1): replay a stream no faster than a
+    target processing speed."""
+    from repro.datagen import PacedStream, PoissonArrivals, StreamGenerator
+
+    events = StreamGenerator(
+        arrivals=PoissonArrivals(100_000.0), seed=5
+    ).generate(2000).records
+
+    def paced_rates():
+        rows = []
+        for target in (500.0, 2000.0, 8000.0):
+            delivered = PacedStream(events, target_rate=target).delivered_rate()
+            rows.append({"target (ev/s)": target, "delivered (ev/s)": delivered})
+        return rows
+
+    rows = benchmark(paced_rates)
+    print_banner("E8", "processing-speed control via pacing")
+    print(ascii_table(rows))
+    for row in rows:
+        assert row["delivered (ev/s)"] <= row["target (ev/s)"] * 1.01

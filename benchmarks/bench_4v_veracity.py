@@ -1,0 +1,214 @@
+"""E9 — veracity metrics and the veracity-aware vs -unaware ablation.
+
+Section 5.1 proposes measuring data veracity with statistical divergences
+(the paper's worked example: topic/word distributions compared via KL).
+Expected shape: model-fitted generators (LDA text, R-MAT graphs, fitted
+tables) score strictly better (lower divergence from the real data) than
+veracity-unaware baselines (uniform random text, Erdős–Rényi graphs,
+uniform tables).
+"""
+
+from __future__ import annotations
+
+from conftest import print_banner
+
+from repro.core.prescription import load_seed
+from repro.datagen import (
+    ErdosRenyiGenerator,
+    LdaTextGenerator,
+    RandomTextGenerator,
+    RmatGraphGenerator,
+    UnigramTextGenerator,
+    graph_veracity,
+    table_veracity,
+    text_veracity,
+)
+from repro.datagen.table import (
+    FittedTableGenerator,
+    SequentialKey,
+    TableGenerator,
+    TableSchema,
+    UniformInt,
+)
+from repro.execution.report import ascii_table
+
+
+def test_text_veracity_ablation(benchmark):
+    corpus = load_seed("text-corpus")
+
+    def compare():
+        lda = LdaTextGenerator(iterations=10, seed=1).fit(corpus)
+        unigram = UnigramTextGenerator(seed=1).fit(corpus)
+        random_text = RandomTextGenerator(seed=1)
+        rows = []
+        for label, generator in (
+            ("LDA (full model)", lda),
+            ("unigram (marginals only)", unigram),
+            ("random words (un-considered)", random_text),
+        ):
+            report = text_veracity(
+                corpus.records, generator.generate(120).records
+            )
+            rows.append(
+                {
+                    "generator": label,
+                    "JS divergence": report.score,
+                    "KL divergence": report.metrics["kl_real_vs_synthetic"],
+                    "vocab Jaccard": report.metrics["vocabulary_jaccard"],
+                    "faithful": report.is_faithful,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print_banner("E9", "text veracity — model-fitted vs baselines")
+    print(ascii_table(rows))
+    lda_score, unigram_score, random_score = (row["JS divergence"] for row in rows)
+    assert lda_score < random_score / 10  # model-fitted wins decisively
+    assert unigram_score < random_score / 10
+    assert not rows[2]["faithful"]
+
+
+def test_topic_structure_ablation(benchmark):
+    """The paper's worked example completed: word distributions alone
+    cannot separate LDA from a unigram model (both match the marginals);
+    the *topic* distributions do.  Expected shape: LDA's topical
+    concentration matches the real corpus; unigram documents are flat."""
+    from repro.datagen import topic_structure_veracity
+
+    corpus = load_seed("text-corpus")
+
+    def compare():
+        lda = LdaTextGenerator(iterations=12, seed=5).fit(corpus)
+        unigram = UnigramTextGenerator(seed=5).fit(corpus)
+        rows = []
+        for label, generator in (
+            ("LDA (topics modelled)", lda),
+            ("unigram (topics lost)", unigram),
+        ):
+            report = topic_structure_veracity(
+                corpus.records, generator.generate(120).records, lda.model
+            )
+            rows.append(
+                {
+                    "generator": label,
+                    "topic-structure JS": report.score,
+                    "mean dominant-topic share":
+                        report.metrics["mean_share_synthetic"],
+                    "faithful": report.is_faithful,
+                }
+            )
+        rows.append({"generator": "(real corpus reference)",
+                     "topic-structure JS": 0.0,
+                     "mean dominant-topic share":
+                         report.metrics["mean_share_real"],
+                     "faithful": True})
+        return rows
+
+    rows = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print_banner("E9", "topic-structure veracity — where LDA beats unigram")
+    print(ascii_table(rows))
+    assert rows[0]["topic-structure JS"] < rows[1]["topic-structure JS"] / 3
+    assert rows[0]["faithful"] and not rows[1]["faithful"]
+
+
+def test_graph_veracity_ablation(benchmark):
+    graph = load_seed("social-graph")
+
+    def compare():
+        rmat = RmatGraphGenerator(seed=2).fit(graph)
+        erdos = ErdosRenyiGenerator(
+            edges_per_vertex=rmat.edges_per_vertex, seed=2
+        )
+        rows = []
+        for label, generator in (
+            ("R-MAT fitted (considered)", rmat),
+            ("Erdős–Rényi (un-considered)", erdos),
+        ):
+            report = graph_veracity(
+                graph.records, generator.generate(512).records
+            )
+            rows.append(
+                {
+                    "generator": label,
+                    "degree-dist JS": report.score,
+                    "avg degree": report.metrics["avg_degree_synthetic"],
+                    "faithful": report.is_faithful,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(compare, rounds=2, iterations=1)
+    print_banner("E9", "graph veracity — fitted R-MAT vs Erdős–Rényi")
+    print(ascii_table(rows))
+    assert rows[0]["degree-dist JS"] < rows[1]["degree-dist JS"]
+
+
+def test_table_veracity_ablation(benchmark):
+    orders = load_seed("retail-orders")
+
+    def compare():
+        fitted = FittedTableGenerator(seed=3).fit(orders)
+        naive_schema = TableSchema("orders-naive")
+        naive_schema.add("order_id", SequentialKey())
+        naive_schema.add("customer_id", UniformInt(0, 200))
+        naive_schema.add("product_id", UniformInt(0, 100))
+        naive_schema.add("quantity", UniformInt(1, 6))
+        naive_schema.add("day", UniformInt(0, 365))
+        uniform = TableGenerator(naive_schema, seed=3)
+        rows = []
+        for label, generator in (
+            ("fitted per-column (considered)", fitted),
+            ("uniform columns (un-considered)", uniform),
+        ):
+            report = table_veracity(
+                orders.records, generator.generate(600).records
+            )
+            rows.append(
+                {"generator": label, "mean column JS": report.score,
+                 "faithful": report.is_faithful}
+            )
+        return rows
+
+    rows = benchmark.pedantic(compare, rounds=2, iterations=1)
+    print_banner("E9", "table veracity — fitted vs uniform columns")
+    print(ascii_table(rows))
+    assert rows[0]["mean column JS"] < rows[1]["mean column JS"]
+
+
+def test_model_vs_data_metrics(benchmark):
+    """Section 5.1's two metric types: (1) raw data vs the model,
+    (2) raw data vs the synthetic data."""
+    from repro.datagen import model_veracity, word_distribution
+
+    corpus = load_seed("text-corpus")
+
+    def both_metrics():
+        lda = LdaTextGenerator(iterations=10, seed=4).fit(corpus)
+        real_distribution = word_distribution(corpus.records)
+        model_distribution = {
+            lda.model.vocabulary.word_of(i): p
+            for i, p in enumerate(lda.model.topic_distribution())
+        }
+        metric_one = model_veracity(real_distribution, model_distribution,
+                                    data_type="text-model")
+        synthetic = lda.generate(120)
+        metric_two = text_veracity(corpus.records, synthetic.records)
+        return metric_one, metric_two
+
+    metric_one, metric_two = benchmark.pedantic(
+        both_metrics, rounds=1, iterations=1
+    )
+    print_banner("E9", "metric type 1 (data vs model) and type 2 (data vs synthetic)")
+    print(
+        ascii_table(
+            [
+                {"metric": "raw data vs constructed model",
+                 "JS": metric_one.score, "faithful": metric_one.is_faithful},
+                {"metric": "raw data vs synthetic data",
+                 "JS": metric_two.score, "faithful": metric_two.is_faithful},
+            ]
+        )
+    )
+    assert metric_one.is_faithful
+    assert metric_two.is_faithful

@@ -1,0 +1,147 @@
+"""E10 — the functional view in action: one abstract test, many systems.
+
+Section 2.2: abstract operations/patterns "allow the comparison of
+systems of different types, e.g. a DBMS and a MapReduce system" and
+"systems of the same type".  Two comparisons:
+
+* the select→join→aggregate prescription on the DBMS vs the MapReduce
+  engine (Pavlo-style, different system types);
+* the YCSB operation mix on the NoSQL store vs the DBMS (YCSB-style,
+  serving stores).
+
+Expected shape: identical answers; the specialised system wins its home
+turf (the DBMS on relational queries, per Pavlo's findings).
+"""
+
+from __future__ import annotations
+
+from conftest import print_banner
+
+from repro.execution.harness import BenchmarkHarness
+from repro.execution.report import ascii_table
+from repro.execution.runner import RunnerOptions, TestRunner
+
+
+def test_relational_query_dbms_vs_mapreduce(benchmark):
+    harness = BenchmarkHarness(
+        TestRunner(options=RunnerOptions(repeats=3, warmup_runs=1))
+    )
+
+    def compare():
+        return harness.compare_engines(
+            "database-aggregate-join", ["dbms", "mapreduce"], 400
+        )
+
+    analyzer = benchmark.pedantic(compare, rounds=1, iterations=1)
+    rows = analyzer.summary_rows(["duration", "ops_per_second", "energy"])
+    print_banner("E10", "select→join→aggregate — DBMS vs MapReduce")
+    print(ascii_table(rows))
+    factors = analyzer.speedup(
+        "duration", baseline_engine="mapreduce", higher_is_better=False
+    )
+    print(f"  speedup over MapReduce: {factors}")
+    # Pavlo's shape: the DBMS wins relational queries.
+    assert factors["dbms"] > 1.0
+
+
+def test_ycsb_mix_nosql_vs_dbms(benchmark):
+    harness = BenchmarkHarness(TestRunner(options=RunnerOptions(repeats=2)))
+
+    def compare():
+        return harness.compare_engines(
+            "oltp-read-write", ["nosql", "dbms"], 300,
+            operation_count=400,
+        )
+
+    analyzer = benchmark.pedantic(compare, rounds=1, iterations=1)
+    rows = analyzer.summary_rows(["mean_latency", "latency_p99", "throughput"])
+    print_banner("E10", "YCSB mix A — NoSQL store vs DBMS")
+    print(ascii_table(rows))
+    for result in analyzer.results:
+        assert result.mean("mean_latency") > 0
+
+
+def test_consistency_latency_tradeoff(benchmark):
+    """The YCSB paper's consistency dimension on the simulated store:
+    stronger consistency costs latency; weak reads can observe stale
+    data until anti-entropy runs."""
+    from repro.engines.nosql import ConsistencyLevel, LatencyModel, NoSqlStore
+
+    def drive():
+        store = NoSqlStore(
+            num_partitions=6, replication=3,
+            latency=LatencyModel(jitter_sigma=0.0), seed=13,
+        )
+        for index in range(100):
+            store.insert(f"k{index:04d}", {"v": "initial"})
+        # Weakly consistent updates leave replication debt behind.
+        for index in range(100):
+            store.update(f"k{index:04d}", {"v": "updated"},
+                         consistency=ConsistencyLevel.ONE)
+        rows = []
+        for level in (ConsistencyLevel.ONE, ConsistencyLevel.QUORUM,
+                      ConsistencyLevel.ALL):
+            latencies = []
+            stale = 0
+            for index in range(100):
+                result = store.read(f"k{index:04d}", consistency=level)
+                latencies.append(result.latency_seconds)
+                if result.fields and result.fields["v"] != "updated":
+                    stale += 1
+            rows.append(
+                {
+                    "read consistency": level.value,
+                    "mean latency (us)": 1e6 * sum(latencies) / len(latencies),
+                    "stale reads / 100": stale,
+                }
+            )
+        rows.append({"read consistency": "(pending repairs)",
+                     "mean latency (us)": 0.0,
+                     "stale reads / 100": store.pending_replications})
+        return rows
+
+    rows = benchmark.pedantic(drive, rounds=2, iterations=1)
+    print_banner("E10", "consistency vs latency vs staleness (YCSB dimension)")
+    print(ascii_table(rows))
+    one, quorum, everyone = rows[0], rows[1], rows[2]
+    assert one["mean latency (us)"] < quorum["mean latency (us)"]
+    assert quorum["mean latency (us)"] < everyone["mean latency (us)"]
+    assert one["stale reads / 100"] > 0       # weak reads see staleness
+    assert quorum["stale reads / 100"] == 0   # quorum overlap stays fresh
+    assert everyone["stale reads / 100"] == 0
+
+
+def test_count_url_links_both_systems(benchmark):
+    """Pavlo's count-URL-links on both system types, same answer."""
+    from repro.datagen.corpus import load_retail_tables
+    from repro.datagen.weblog import WebLogGenerator
+    from repro.engines.dbms import DbmsEngine
+    from repro.engines.mapreduce import MapReduceEngine
+    from repro.workloads import CountUrlLinksWorkload
+
+    tables = load_retail_tables()
+    weblog = WebLogGenerator(tables["customers"], tables["products"],
+                             seed=7).generate(600)
+    workload = CountUrlLinksWorkload()
+
+    def run_both():
+        return (
+            workload.run(DbmsEngine(), weblog),
+            workload.run(MapReduceEngine(), weblog),
+        )
+
+    dbms_result, mr_result = benchmark.pedantic(run_both, rounds=2, iterations=1)
+    assert sorted(dbms_result.output) == sorted(mr_result.output)
+    print_banner("E10", "count URL links — identical answers on both systems")
+    print(
+        ascii_table(
+            [
+                {"engine": dbms_result.engine,
+                 "paths": dbms_result.records_out,
+                 "duration_s": dbms_result.duration_seconds},
+                {"engine": mr_result.engine,
+                 "paths": mr_result.records_out,
+                 "duration_s": mr_result.duration_seconds},
+            ]
+        )
+    )

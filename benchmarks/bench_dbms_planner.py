@@ -1,0 +1,184 @@
+"""Substrate ablation — DBMS planner choices (DESIGN.md §6.5).
+
+Sweeps the relational substrate's planner knobs on the same query:
+join algorithm (hash / merge / nested-loop), predicate pushdown on/off,
+and index scans on/off.  Expected shapes: hash beats nested-loop once the
+inner input is non-trivial; pushdown cuts compute ops; the index turns a
+point query's scan cost from O(N) to O(log N)-ish record reads.
+"""
+
+from __future__ import annotations
+
+from conftest import print_banner
+
+from repro.datagen.corpus import load_retail_tables
+from repro.engines.dbms import DbmsEngine, PlannerConfig, col, lit
+from repro.execution.report import ascii_table
+
+
+def _load(engine: DbmsEngine) -> None:
+    tables = load_retail_tables(
+        num_customers=200, num_products=100, num_orders=2000
+    )
+    for name, dataset in tables.items():
+        engine.load_dataset(dataset, name)
+
+
+def _join_query(engine: DbmsEngine):
+    return (
+        engine.query("orders")
+        .join("products", "product_id", "product_id")
+        .where(col("quantity") >= lit(2))
+        .group_by("category")
+        .aggregate("sum", "quantity", "total")
+    )
+
+
+def test_join_algorithm_ablation(benchmark):
+    def sweep():
+        rows = []
+        reference = None
+        for algorithm in ("hash", "merge", "nested_loop"):
+            engine = DbmsEngine(PlannerConfig(join_algorithm=algorithm))
+            _load(engine)
+            result = engine.execute(_join_query(engine))
+            answer = sorted(result.rows)
+            if reference is None:
+                reference = answer
+            assert answer == reference  # all algorithms agree
+            rows.append(
+                {
+                    "join": algorithm,
+                    "duration (s)": result.wall_seconds,
+                    "compute ops": result.cost.compute_ops,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    print_banner("ablation", "join algorithm on 2000⋈100 rows")
+    print(ascii_table(rows))
+    by_name = {row["join"]: row for row in rows}
+    assert by_name["hash"]["compute ops"] < by_name["nested_loop"]["compute ops"]
+
+
+def test_predicate_pushdown_ablation(benchmark):
+    def sweep():
+        rows = []
+        for pushdown in (True, False):
+            engine = DbmsEngine(PlannerConfig(predicate_pushdown=pushdown,
+                                              join_algorithm="nested_loop"))
+            _load(engine)
+            result = engine.execute(_join_query(engine))
+            rows.append(
+                {
+                    "pushdown": pushdown,
+                    "duration (s)": result.wall_seconds,
+                    "compute ops": result.cost.compute_ops,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    print_banner("ablation", "predicate pushdown (nested-loop join)")
+    print(ascii_table(rows))
+    assert rows[0]["compute ops"] < rows[1]["compute ops"]
+
+
+def test_index_scan_ablation(benchmark):
+    def sweep():
+        rows = []
+        for use_indexes in (True, False):
+            engine = DbmsEngine(PlannerConfig(use_indexes=use_indexes))
+            _load(engine)
+            engine.create_index("orders", "order_id")
+            result = engine.execute(
+                engine.query("orders").where(col("order_id") == lit(1234))
+            )
+            rows.append(
+                {
+                    "index scans": use_indexes,
+                    "records read": result.cost.records_read,
+                    "plan": result.plan["op"],
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    print_banner("ablation", "point query with and without the index")
+    print(ascii_table(rows))
+    assert rows[0]["records read"] < rows[1]["records read"] / 100
+
+
+def test_mapreduce_cluster_scaling(benchmark):
+    """Companion substrate ablation: simulated cluster size vs makespan."""
+    from repro.datagen.text import RandomTextGenerator
+    from repro.engines.base import SimulatedClusterSpec
+    from repro.engines.mapreduce import MapReduceEngine
+    from repro.workloads import WordCountWorkload
+
+    data = RandomTextGenerator(document_length=60, seed=31).generate(400)
+
+    def sweep():
+        rows = []
+        for nodes in (1, 2, 4, 8):
+            engine = MapReduceEngine(SimulatedClusterSpec(num_nodes=nodes))
+            # Enough tasks that every cluster size has work to parallelise.
+            result = WordCountWorkload().run(
+                engine, data, num_map_tasks=32, num_reduce_tasks=16
+            )
+            rows.append(
+                {"nodes": nodes,
+                 "simulated makespan (s)": result.simulated_seconds}
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    print_banner("ablation", "simulated cluster size (wordcount)")
+    print(ascii_table(rows))
+    makespans = [row["simulated makespan (s)"] for row in rows]
+    assert makespans == sorted(makespans, reverse=True)
+
+
+def test_straggler_and_speculation_ablation(benchmark):
+    """The Dean & Ghemawat backup-task result on the cluster model: an
+    unexpected 5×-slow node inflates the makespan; speculative execution
+    recovers most of the loss."""
+    from repro.datagen.text import RandomTextGenerator
+    from repro.engines.base import SimulatedClusterSpec
+    from repro.engines.mapreduce import MapReduceEngine
+    from repro.workloads import WordCountWorkload
+
+    data = RandomTextGenerator(document_length=60, seed=32).generate(400)
+    specs = {
+        "uniform cluster": SimulatedClusterSpec(num_nodes=4),
+        "one 5x-slow node": SimulatedClusterSpec(
+            num_nodes=4, node_speed_factors=(1.0, 1.0, 1.0, 0.2)
+        ),
+        "slow node + speculation": SimulatedClusterSpec(
+            num_nodes=4, node_speed_factors=(1.0, 1.0, 1.0, 0.2),
+            speculative_execution=True,
+        ),
+    }
+
+    def sweep():
+        rows = []
+        for label, spec in specs.items():
+            engine = MapReduceEngine(spec)
+            result = WordCountWorkload().run(
+                engine, data, num_map_tasks=32, num_reduce_tasks=16
+            )
+            rows.append(
+                {"cluster": label,
+                 "simulated makespan (s)": result.simulated_seconds}
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    print_banner("ablation", "stragglers and speculative execution")
+    print(ascii_table(rows))
+    uniform, straggling, speculated = (
+        row["simulated makespan (s)"] for row in rows
+    )
+    assert straggling > uniform
+    assert uniform <= speculated < straggling

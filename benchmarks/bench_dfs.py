@@ -1,0 +1,126 @@
+"""Substrate ablation — the distributed file system (CFS workloads).
+
+BigDataBench's CFS micro benchmark runs here against the simulated DFS.
+Three shapes: write latency grows with the replication factor (pipeline
+cost); read throughput is unaffected by replication; a single node
+failure loses no replicated data and re-replication restores the
+replication factor.
+"""
+
+from __future__ import annotations
+
+from conftest import print_banner
+
+from repro.datagen.text import RandomTextGenerator
+from repro.engines.dfs import DistributedFileSystem
+from repro.execution.report import ascii_table
+from repro.workloads import CfsWorkload
+
+
+def _text():
+    return RandomTextGenerator(document_length=40, seed=71).generate(200)
+
+
+def test_replication_factor_ablation(benchmark):
+    data = _text()
+
+    def sweep():
+        rows = []
+        for replication in (1, 2, 3):
+            # Small seek cost so transfer (and therefore the replica
+            # pipeline) dominates the measured latencies.
+            engine = DistributedFileSystem(
+                num_nodes=4, replication=replication,
+                seek_seconds=1e-5, network_bytes_per_second=10e6,
+            )
+            result = CfsWorkload().run(engine, data, files=8)
+            means = result.output["mean_latency_by_op"]
+            rows.append(
+                {
+                    "replication": replication,
+                    "mean write (ms)": means["write"] * 1e3,
+                    "mean read (ms)": means["read"] * 1e3,
+                    "write throughput (MB/s)":
+                        result.extra["write_throughput_bytes_per_second"] / 1e6,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    print_banner("ablation", "DFS replication factor (CFS workload)")
+    print(ascii_table(rows))
+    writes = [row["mean write (ms)"] for row in rows]
+    assert writes == sorted(writes)       # more replicas → slower writes
+    assert writes[-1] > writes[0] * 1.5   # and noticeably so
+    reads = [row["mean read (ms)"] for row in rows]
+    # Reads contact one replica: unaffected by the replication factor.
+    assert max(reads) - min(reads) < 0.2 * max(reads) + 1e-9
+    assert max(reads) <= min(writes) + 1e-9
+
+
+def test_failure_and_re_replication(benchmark):
+    def drive():
+        dfs = DistributedFileSystem(num_nodes=4, block_size=256,
+                                    replication=2)
+        payloads = {
+            f"/data/part-{i:03d}": bytes(f"payload-{i}" * 40, "ascii")
+            for i in range(12)
+        }
+        for path, payload in payloads.items():
+            dfs.write_file(path, payload)
+        lost = dfs.fail_node(0)
+        under = len(dfs.under_replicated_blocks())
+        survived = sum(
+            1 for path, payload in payloads.items()
+            if dfs.read_file(path).data == payload
+        )
+        copies = dfs.re_replicate()
+        return {
+            "blocks on failed node": lost,
+            "under-replicated after failure": under,
+            "files readable after failure": survived,
+            "re-replication copies": copies,
+            "under-replicated after repair": len(dfs.under_replicated_blocks()),
+            "data lost": len(dfs.lost_blocks()),
+        }
+
+    row = benchmark.pedantic(drive, rounds=2, iterations=1)
+    print_banner("ablation", "DFS node failure + re-replication")
+    print(ascii_table([row]))
+    assert row["files readable after failure"] == 12
+    assert row["data lost"] == 0
+    assert row["under-replicated after repair"] == 0
+
+
+def test_scale_down_sampling_shapes(benchmark):
+    """Figure 3's sampling tools: forest-fire preserves graph degree
+    structure better than uniform edge sampling at the same fraction."""
+    from repro.core.prescription import load_seed
+    from repro.datagen.graph import average_degree
+    from repro.datagen.sampling import forest_fire_sample, random_edge_sample
+
+    graph = load_seed("social-graph")
+    real_degree = average_degree(graph.records)
+
+    def compare():
+        rows = []
+        for label, sampler in (
+            ("forest fire", forest_fire_sample),
+            ("uniform edge", random_edge_sample),
+        ):
+            sampled = sampler(graph.records, 0.5, seed=5)
+            rows.append(
+                {
+                    "sampler": label,
+                    "edges kept": len(sampled),
+                    "avg degree": average_degree(sampled),
+                    "degree error": abs(average_degree(sampled) - real_degree),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(compare, rounds=2, iterations=1)
+    print_banner("E5b", f"scale-down sampling (real avg degree "
+                        f"{real_degree:.2f})")
+    print(ascii_table(rows))
+    assert rows[0]["degree error"] < rows[1]["degree error"]

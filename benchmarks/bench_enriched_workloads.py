@@ -1,0 +1,109 @@
+"""E14 — enriching workloads (Section 5.2 future work).
+
+The paper names two workload classes missing from every surveyed suite:
+multimedia systems and large-scale deep learning.  Both run here —
+image classification over synthetic textures (feature extraction + train
++ classify as MapReduce jobs) and data-parallel MLP training (one
+gradient-averaging MapReduce job per epoch, stopping on a runtime
+convergence condition).
+
+Expected shapes: both reach high accuracy on their labelled synthetic
+inputs; the MLP's loss curve is monotone-ish decreasing; its epoch count
+is only known at run time (the iterative-operation pattern).
+"""
+
+from __future__ import annotations
+
+from conftest import print_banner
+
+from repro.datagen.media import SyntheticImageGenerator
+from repro.datagen.mixture import GaussianMixtureGenerator
+from repro.engines.mapreduce import MapReduceEngine
+from repro.execution.report import ascii_table
+from repro.workloads import (
+    ImageClassificationWorkload,
+    MlpClassificationWorkload,
+)
+
+
+def test_multimedia_image_classification(benchmark):
+    images = SyntheticImageGenerator(size=16, seed=51).generate(200)
+
+    def run():
+        return ImageClassificationWorkload().run(MapReduceEngine(), images)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    print_banner("E14", "multimedia — image classification over textures")
+    print(
+        ascii_table(
+            [{
+                "images": result.records_in,
+                "classes": len(result.output["classes"]),
+                "accuracy": result.extra["accuracy"],
+                "duration (s)": result.duration_seconds,
+                "simulated cluster (s)": result.simulated_seconds,
+            }]
+        )
+    )
+    assert result.extra["accuracy"] > 0.85
+
+
+def test_deep_learning_mlp(benchmark):
+    data = GaussianMixtureGenerator(
+        num_components=4, dimensions=3, spread=10.0, seed=52
+    ).generate(500)
+
+    def run():
+        return MlpClassificationWorkload().run(
+            MapReduceEngine(), data, max_epochs=30, seed=1
+        )
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    losses = result.output["loss_curve"]
+    print_banner("E14", "large-scale learning — data-parallel MLP on MapReduce")
+    print(
+        ascii_table(
+            [{
+                "rows": result.records_in,
+                "epochs (runtime-determined)": result.extra["epochs"],
+                "initial loss": losses[0],
+                "final loss": losses[-1],
+                "test accuracy": result.extra["accuracy"],
+            }]
+        )
+    )
+    assert result.extra["accuracy"] > 0.9
+    assert losses[-1] < losses[0]
+
+
+def test_epoch_count_runtime_condition(benchmark):
+    """The iterative-operation pattern in the learning setting: a looser
+    convergence threshold stops training earlier."""
+    data = GaussianMixtureGenerator(
+        num_components=3, dimensions=2, spread=12.0, seed=53
+    ).generate(300)
+
+    def run_both():
+        eager = MlpClassificationWorkload().run(
+            MapReduceEngine(), data,
+            max_epochs=50, min_loss_improvement=0.3, seed=2,
+        )
+        patient = MlpClassificationWorkload().run(
+            MapReduceEngine(), data,
+            max_epochs=50, min_loss_improvement=0.0, seed=2,
+        )
+        return eager, patient
+
+    eager, patient = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print_banner("E14", "stopping condition controls the epoch count")
+    print(
+        ascii_table(
+            [
+                {"threshold": 0.3, "epochs": eager.extra["epochs"],
+                 "accuracy": eager.extra["accuracy"]},
+                {"threshold": 0.0, "epochs": patient.extra["epochs"],
+                 "accuracy": patient.extra["accuracy"]},
+            ]
+        )
+    )
+    assert eager.extra["epochs"] < patient.extra["epochs"]

@@ -1,0 +1,96 @@
+"""E12 — hybrid workloads vs isolated workloads (Section 5.2 ablation).
+
+The paper argues no existing benchmark supports "the truly hybrid
+workload … the mix of various data processing operations and their
+arriving rates and sequences".  This benchmark runs the hybrid workload
+(serving traffic + interleaved analytics scans) against a serving-only
+run on identical stores, and drives the mix from an arrival pattern
+profiled from generated web logs.
+
+Expected shape: analytics interleaving inflates total service time and
+the serving operations' tail is visible next to the scan latencies —
+interference a single-category benchmark cannot expose.
+"""
+
+from __future__ import annotations
+
+from conftest import print_banner
+
+from repro.datagen.corpus import load_retail_tables
+from repro.datagen.kv import KeyValueGenerator
+from repro.datagen.weblog import WebLogGenerator
+from repro.engines.nosql import NoSqlStore
+from repro.execution.report import ascii_table
+from repro.workloads import HybridWorkload, profile_arrival_pattern
+
+
+def _kv_data():
+    return KeyValueGenerator(field_count=4, field_length=20, seed=21).generate(300)
+
+
+def test_hybrid_vs_isolated(benchmark):
+    data = _kv_data()
+    workload = HybridWorkload()
+
+    def run_both():
+        isolated = workload.run(
+            NoSqlStore(seed=22), data,
+            operation_count=800, analytics_every=0,
+        )
+        hybrid = workload.run(
+            NoSqlStore(seed=22), data,
+            operation_count=800, analytics_every=40,
+            analytics_scan_length=400,
+        )
+        return isolated, hybrid
+
+    isolated, hybrid = benchmark.pedantic(run_both, rounds=2, iterations=1)
+    rows = []
+    for label, result in (("serving only", isolated), ("hybrid", hybrid)):
+        means = result.output["mean_latency_by_class"]
+        rows.append(
+            {
+                "run": label,
+                "total service time (s)": result.simulated_seconds,
+                "mean read (ms)": means.get("read", 0) * 1e3,
+                "mean scan (ms)": means.get("scan", 0) * 1e3,
+                "scans": result.extra["per_class_counts"]["scan"],
+            }
+        )
+    print_banner("E12", "hybrid vs isolated serving")
+    print(ascii_table(rows))
+    assert hybrid.simulated_seconds > isolated.simulated_seconds
+    assert hybrid.extra["per_class_counts"]["scan"] > 0
+
+
+def test_profiled_arrival_pattern_drives_hybrid(benchmark):
+    tables = load_retail_tables()
+    weblog = WebLogGenerator(tables["customers"], tables["products"],
+                             seed=23).generate(800)
+    data = _kv_data()
+
+    def profile_and_run():
+        pattern = profile_arrival_pattern(weblog)
+        result = HybridWorkload().run(
+            NoSqlStore(seed=24), data,
+            arrival_pattern=pattern, operation_count=600,
+        )
+        return pattern, result
+
+    pattern, result = benchmark.pedantic(profile_and_run, rounds=2, iterations=1)
+    print_banner("E12", "arrival pattern profiled from web logs → hybrid mix")
+    print(
+        ascii_table(
+            [
+                {"operation": name,
+                 "profiled rate (ops/s)": rate,
+                 "executed": result.extra["per_class_counts"].get(name, 0)}
+                for name, rate in sorted(pattern.rates.items())
+            ]
+        )
+    )
+    counts = result.extra["per_class_counts"]
+    # GET-heavy logs must produce read-heavy store traffic.
+    assert counts["read"] == max(
+        count for name, count in counts.items() if name != "scan"
+    )

@@ -1,0 +1,131 @@
+"""E13 — heterogeneous platform evaluation (Section 5.2 future work).
+
+The exact evaluation the paper proposes, on simulated Xeon / Xeon+GPGPU /
+Xeon+MIC platforms: project measured workload runs onto each platform via
+an Amdahl model and answer the paper's two questions.
+
+Expected shape: **no** platform consistently wins both performance and
+energy for all applications (question 1 = no), and each workload class
+gets a recommendation (question 2): accelerators win dense numeric
+workloads (k-means, PageRank), the plain CPU wins irregular/serving
+workloads on energy.
+"""
+
+from __future__ import annotations
+
+from conftest import print_banner
+
+from repro.core.platforms import (
+    STANDARD_PLATFORMS,
+    PlatformEvaluation,
+    accelerable_fraction,
+)
+from repro.datagen.graph import RmatGraphGenerator
+from repro.datagen.kv import KeyValueGenerator
+from repro.datagen.mixture import GaussianMixtureGenerator
+from repro.datagen.text import RandomTextGenerator
+from repro.engines.mapreduce import MapReduceEngine
+from repro.engines.nosql import NoSqlStore
+from repro.execution.report import ascii_table
+from repro.workloads import (
+    GrepWorkload,
+    KMeansWorkload,
+    PageRankWorkload,
+    SortWorkload,
+    YcsbWorkload,
+)
+
+
+def _measured_results():
+    text = RandomTextGenerator(document_length=30, seed=41).generate(200)
+    results = [
+        SortWorkload().run(MapReduceEngine(), text),
+        GrepWorkload().run(MapReduceEngine(), text, pattern_text="stone"),
+        KMeansWorkload().run(
+            MapReduceEngine(),
+            GaussianMixtureGenerator(seed=42).generate(300),
+            num_clusters=4, max_iterations=8,
+        ),
+        PageRankWorkload().run(
+            MapReduceEngine(),
+            RmatGraphGenerator(seed=43).generate(256),
+            max_iterations=10,
+        ),
+        YcsbWorkload().run(
+            NoSqlStore(seed=44),
+            KeyValueGenerator(field_count=4, field_length=20,
+                              seed=45).generate(200),
+            workload_mix="A", operation_count=400,
+        ),
+    ]
+    return results
+
+
+def test_platform_evaluation(benchmark):
+    results = _measured_results()
+
+    def evaluate():
+        evaluation = PlatformEvaluation()
+        for result in results:
+            evaluation.add(result)
+        return evaluation
+
+    evaluation = benchmark(evaluate)
+
+    print_banner("E13", "workloads × platforms (projected time and energy)")
+    print(ascii_table(evaluation.rows()))
+
+    recommendations = evaluation.per_class_recommendation()
+    print_banner("E13", "question 2 — per-class platform recommendation")
+    print(
+        ascii_table(
+            [
+                {"workload": workload,
+                 "accelerable fraction": accelerable_fraction(workload),
+                 "best performance": picks["performance"],
+                 "best energy": picks["energy"]}
+                for workload, picks in recommendations.items()
+            ]
+        )
+    )
+
+    winner = evaluation.consistent_winner()
+    print(f"\nquestion 1 — consistent winner on BOTH metrics: "
+          f"{winner or 'none (as the paper expected)'}")
+
+    # The paper's expected shapes:
+    assert winner is None  # (1) no platform wins everything
+    # (2) accelerators win the dense numeric workloads on performance...
+    assert recommendations["kmeans"]["performance"] == "Xeon+GPGPU"
+    assert recommendations["pagerank"]["performance"] == "Xeon+GPGPU"
+    # ...while the plain CPU wins serving/irregular workloads on energy.
+    assert recommendations["ycsb"]["energy"] == "Xeon (CPU only)"
+    assert recommendations["grep"]["energy"] == "Xeon (CPU only)"
+
+
+def test_uniform_interface_same_stack(benchmark):
+    """The paper requires apples-to-apples: the same application, same
+    software stack, projected across platforms — only the platform spec
+    varies."""
+    from repro.core.platforms import project
+
+    text = RandomTextGenerator(document_length=30, seed=46).generate(150)
+    result = SortWorkload().run(MapReduceEngine(), text)
+
+    def project_all():
+        return [project(result, platform) for platform in STANDARD_PLATFORMS]
+
+    projections = benchmark(project_all)
+    print_banner("E13", "one run, three platforms (uniform interface)")
+    print(
+        ascii_table(
+            [{"platform": p.platform, "seconds": p.seconds,
+              "energy (J)": p.energy_joules} for p in projections]
+        )
+    )
+    # Sort is mostly irregular: acceleration helps time a little, but the
+    # accelerator's power draw makes the CPU the energy winner.
+    cpu, gpu, mic = projections
+    assert gpu.seconds < cpu.seconds
+    assert cpu.energy_joules < gpu.energy_joules
+    assert cpu.energy_joules < mic.energy_joules

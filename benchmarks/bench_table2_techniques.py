@@ -1,0 +1,61 @@
+"""E2 — regenerate Table 2: benchmarking techniques of ten suites.
+
+Derived from each suite model's workload inventory, asserted against the
+published rows, and backed by *runnable miniatures*: every suite's
+workload set executes on this repository's engines and reports timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import print_banner
+
+from repro.execution.report import ascii_table
+from repro.suites import (
+    MINIATURES,
+    PAPER_TABLE2,
+    generate_table2,
+    run_miniature,
+    table2_matches_paper,
+)
+
+
+def test_table2_matches_paper(benchmark):
+    rows = benchmark(generate_table2)
+    assert len(rows) == len(PAPER_TABLE2)
+    matches, mismatches = table2_matches_paper()
+    assert matches, mismatches
+    print_banner("E2", "Table 2 — benchmarking techniques (derived)")
+    print(
+        ascii_table(
+            [
+                {
+                    "Benchmark efforts": row.benchmark,
+                    "Type": row.workload_type,
+                    "Examples": row.examples[:60]
+                    + ("…" if len(row.examples) > 60 else ""),
+                    "Software stacks": row.software_stacks,
+                }
+                for row in rows
+            ]
+        )
+    )
+    print("row-for-row match with the published table: YES")
+
+
+@pytest.mark.parametrize("suite_name", sorted(MINIATURES))
+def test_suite_miniature_runs(benchmark, suite_name):
+    report = benchmark.pedantic(
+        run_miniature, args=(suite_name,), kwargs={"scale": 0.5},
+        rounds=2, iterations=1,
+    )
+    print_banner("E2", f"{suite_name} miniature ({len(report.runs)} workloads)")
+    print(
+        ascii_table(
+            [
+                {"workload": name, "duration_s": seconds}
+                for name, seconds in sorted(report.summary().items())
+            ]
+        )
+    )
+    assert report.runs

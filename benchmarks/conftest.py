@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints the rows/series it regenerates (run with ``-s`` to
+see them); pytest-benchmark records the timings.  EXPERIMENTS.md captures
+paper-vs-measured for each experiment id (E1–E12) defined in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_banner(experiment: str, title: str) -> None:
+    print(f"\n=== {experiment}: {title} " + "=" * max(0, 60 - len(title)))
+
+
+@pytest.fixture(scope="session")
+def framework():
+    from repro import BigDataBenchmark
+
+    return BigDataBenchmark()

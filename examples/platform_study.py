@@ -1,0 +1,92 @@
+"""Heterogeneous platform study (Section 5.2 future work, executed).
+
+Answers the paper's two platform questions over simulated Xeon /
+Xeon+GPGPU / Xeon+MIC platforms, with the §5.2 "enriched" workloads
+(multimedia image classification and data-parallel MLP training) among
+the applications under test:
+
+1. Is there a platform that consistently wins BOTH performance and
+   energy efficiency for all big data applications?
+2. For each application class, which platform fits best?
+
+Run:  python examples/platform_study.py
+"""
+
+from __future__ import annotations
+
+from repro.core.platforms import (
+    PlatformEvaluation,
+    accelerable_fraction,
+)
+from repro.datagen.media import SyntheticImageGenerator
+from repro.datagen.mixture import GaussianMixtureGenerator
+from repro.datagen.text import RandomTextGenerator
+from repro.engines.mapreduce import MapReduceEngine
+from repro.execution.report import ascii_table
+from repro.workloads import (
+    GrepWorkload,
+    ImageClassificationWorkload,
+    MlpClassificationWorkload,
+    SortWorkload,
+)
+
+# The multimedia and learning workloads are numeric-kernel heavy.
+from repro.core.platforms import ACCELERABLE_FRACTIONS
+
+ACCELERABLE_FRACTIONS.setdefault("image-classification", 0.8)
+ACCELERABLE_FRACTIONS.setdefault("mlp-classification", 0.92)
+
+
+def main() -> None:
+    text = RandomTextGenerator(document_length=40, seed=61).generate(250)
+    images = SyntheticImageGenerator(seed=62).generate(150)
+    features = GaussianMixtureGenerator(
+        num_components=4, dimensions=3, spread=10.0, seed=63
+    ).generate(400)
+
+    print("Measuring workloads on the MapReduce substrate ...")
+    results = [
+        SortWorkload().run(MapReduceEngine(), text),
+        GrepWorkload().run(MapReduceEngine(), text, pattern_text="river"),
+        ImageClassificationWorkload().run(MapReduceEngine(), images),
+        MlpClassificationWorkload().run(
+            MapReduceEngine(), features, max_epochs=20, seed=1
+        ),
+    ]
+    for result in results:
+        accuracy = result.extra.get("accuracy")
+        note = f" (accuracy {accuracy:.2f})" if accuracy is not None else ""
+        print(f"  {result.workload:22s} "
+              f"{(result.simulated_seconds or 0) * 1e3:8.3f} ms simulated"
+              f"{note}")
+
+    evaluation = PlatformEvaluation()
+    for result in results:
+        evaluation.add(result)
+
+    print("\nProjections (uniform interface, same software stack):")
+    print(ascii_table(evaluation.rows()))
+
+    print("\nQuestion 2 — per-class recommendation:")
+    print(
+        ascii_table(
+            [
+                {
+                    "workload": workload,
+                    "accelerable": accelerable_fraction(workload),
+                    "best performance": picks["performance"],
+                    "best energy": picks["energy"],
+                }
+                for workload, picks in
+                evaluation.per_class_recommendation().items()
+            ]
+        )
+    )
+
+    winner = evaluation.consistent_winner()
+    print(f"\nQuestion 1 — a platform winning both metrics everywhere: "
+          f"{winner or 'none (as the paper anticipated)'}")
+
+
+if __name__ == "__main__":
+    main()

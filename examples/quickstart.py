@@ -1,0 +1,42 @@
+"""Quickstart: run a benchmark through the three-layer facade.
+
+Demonstrates the paper's five-step benchmarking process (Figure 1) in a
+dozen lines: pick a prescription, run it, read the per-step audit trail
+and the metric report.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import BigDataBenchmark
+from repro.execution.report import results_table
+
+
+def main() -> None:
+    benchmark = BigDataBenchmark()
+
+    print("Available prescriptions:")
+    for name in benchmark.user_interface.available_prescriptions():
+        prescription = benchmark.prescription(name)
+        print(f"  {name:32s} [{prescription.domain}] -> {prescription.workload}")
+
+    # Run WordCount on the MapReduce engine, three repeats.
+    report = benchmark.run("micro-wordcount", volume=300, repeats=3)
+
+    print("\nFive-step process (Figure 1):")
+    for step in report.steps:
+        print(f"  {step.step:22s} {step.elapsed_seconds * 1e3:8.2f} ms")
+
+    print("\nResults:")
+    print(results_table(report.results,
+                        ["duration", "throughput", "ops_per_second",
+                         "energy", "cost"]))
+
+    ranking = report.step("analysis-evaluation").detail["ranking"]
+    engine, duration = ranking[0]
+    print(f"\nFastest engine: {engine} ({duration:.4f}s mean duration)")
+
+
+if __name__ == "__main__":
+    main()

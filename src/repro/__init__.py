@@ -1,0 +1,80 @@
+"""repro — a reproduction of "On Big Data Benchmarking" (Han & Lu, 2014).
+
+A complete, executable big-data-benchmarking framework:
+
+* **4V data generators** (volume / velocity / variety / veracity):
+  LDA text, MUDD-style tables, R-MAT graphs, event streams, web logs and
+  reviews, plus veracity metrics, velocity controllers, scale-down
+  sampling, and format conversion (:mod:`repro.datagen`);
+* **abstract test generation**: operations, workload patterns,
+  prescriptions, and the five-step test generator (:mod:`repro.core`);
+* **execution substrates**: from-scratch MapReduce, relational DBMS,
+  NoSQL store, and stream processor (:mod:`repro.engines`);
+* **workloads** spanning Table 2's categories and domains
+  (:mod:`repro.workloads`);
+* **execution layer**: configuration, runner, sweeps, reporting
+  (:mod:`repro.execution`);
+* **suite models** that regenerate the paper's Table 1 and Table 2
+  (:mod:`repro.suites`).
+
+Quickstart::
+
+    from repro import BigDataBenchmark
+
+    benchmark = BigDataBenchmark()
+    report = benchmark.run("micro-wordcount", repeats=3)
+    for result in report.results:
+        print(result.engine, result.mean("throughput"))
+"""
+
+from repro.bootstrap import register_default_components
+
+register_default_components()
+
+from repro.core.errors import ReproError  # noqa: E402
+from repro.core.layers import (  # noqa: E402
+    BigDataBenchmark,
+    ExecutionLayer,
+    FunctionLayer,
+    UserInterfaceLayer,
+)
+from repro.core.metrics import MetricKind, MetricSuite, RunEvidence  # noqa: E402
+from repro.core.prescription import (  # noqa: E402
+    DataRequirement,
+    Prescription,
+    PrescriptionRepository,
+    builtin_repository,
+)
+from repro.core.process import BenchmarkingProcess, ProcessReport  # noqa: E402
+from repro.core.results import ResultAnalyzer, RunResult  # noqa: E402
+from repro.core.spec import BenchmarkSpec  # noqa: E402
+from repro.core.test_generator import PrescribedTest, TestGenerator  # noqa: E402
+from repro.datagen.base import DataSet, DataType  # noqa: E402
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BenchmarkSpec",
+    "BenchmarkingProcess",
+    "BigDataBenchmark",
+    "DataRequirement",
+    "DataSet",
+    "DataType",
+    "ExecutionLayer",
+    "FunctionLayer",
+    "MetricKind",
+    "MetricSuite",
+    "PrescribedTest",
+    "Prescription",
+    "PrescriptionRepository",
+    "ProcessReport",
+    "ReproError",
+    "ResultAnalyzer",
+    "RunEvidence",
+    "RunResult",
+    "TestGenerator",
+    "UserInterfaceLayer",
+    "builtin_repository",
+    "register_default_components",
+    "__version__",
+]

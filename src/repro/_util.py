@@ -1,0 +1,147 @@
+"""Small shared utilities used across the repro framework."""
+
+from __future__ import annotations
+
+import math
+import time
+from collections.abc import Iterable, Iterator, Sequence
+from typing import TypeVar
+
+T = TypeVar("T")
+
+#: Bytes per unit, for human-readable volume parsing/formatting.
+_SIZE_UNITS = {
+    "b": 1,
+    "kb": 10**3,
+    "mb": 10**6,
+    "gb": 10**9,
+    "tb": 10**12,
+    "pb": 10**15,
+}
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a human-readable size such as ``"10MB"`` or ``"1.5 GB"`` to bytes.
+
+    Plain numbers are interpreted as bytes.  Parsing is case-insensitive and
+    tolerates whitespace between the number and the unit.
+
+    >>> parse_size("10MB")
+    10000000
+    >>> parse_size(1024)
+    1024
+    """
+    if isinstance(text, (int, float)):
+        return int(text)
+    cleaned = text.strip().lower().replace(" ", "")
+    for unit in sorted(_SIZE_UNITS, key=len, reverse=True):
+        if cleaned.endswith(unit):
+            number = cleaned[: -len(unit)]
+            return int(float(number) * _SIZE_UNITS[unit])
+    return int(float(cleaned))
+
+
+def format_size(num_bytes: float) -> str:
+    """Format a byte count as a human-readable string (``"1.5 GB"``)."""
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1000.0:
+            return f"{value:.1f} {unit}"
+        value /= 1000.0
+    return f"{value:.1f} PB"
+
+
+def chunked(items: Sequence[T], num_chunks: int) -> list[Sequence[T]]:
+    """Split ``items`` into ``num_chunks`` contiguous, near-equal chunks.
+
+    Earlier chunks receive the remainder, so sizes differ by at most one.
+    Empty chunks are produced when ``num_chunks`` exceeds ``len(items)``.
+    """
+    if num_chunks <= 0:
+        raise ValueError(f"num_chunks must be positive, got {num_chunks}")
+    base, extra = divmod(len(items), num_chunks)
+    chunks: list[Sequence[T]] = []
+    start = 0
+    for index in range(num_chunks):
+        size = base + (1 if index < extra else 0)
+        chunks.append(items[start : start + size])
+        start += size
+    return chunks
+
+
+def batched(iterable: Iterable[T], batch_size: int) -> Iterator[list[T]]:
+    """Yield successive lists of at most ``batch_size`` items.
+
+    >>> list(batched([1, 2, 3, 4, 5], 2))
+    [[1, 2], [3, 4], [5]]
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    batch: list[T] = []
+    for item in iterable:
+        batch.append(item)
+        if len(batch) == batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+class Stopwatch:
+    """A simple monotonic stopwatch used by runners and rate controllers."""
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self._elapsed = 0.0
+
+    def start(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop and return the total elapsed seconds."""
+        if self._start is None:
+            raise RuntimeError("stopwatch was never started")
+        self._elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self._elapsed
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds so far (running or stopped)."""
+        if self._start is not None:
+            return self._elapsed + (time.perf_counter() - self._start)
+        return self._elapsed
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def percentile(sorted_samples: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile of an already-sorted sample list.
+
+    ``fraction`` is in [0, 1]; e.g. 0.99 for p99.
+    """
+    if not sorted_samples:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    if len(sorted_samples) == 1:
+        return float(sorted_samples[0])
+    position = fraction * (len(sorted_samples) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return float(sorted_samples[lower])
+    weight = position - lower
+    return float(sorted_samples[lower] * (1 - weight) + sorted_samples[upper] * weight)
+
+
+def mean(samples: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input rather than returning NaN."""
+    if not samples:
+        raise ValueError("cannot take the mean of an empty sample")
+    return sum(samples) / len(samples)

@@ -1,0 +1,87 @@
+"""Default component registration.
+
+Importing :mod:`repro` calls :func:`register_default_components`, which
+fills the framework registries with every built-in data generator,
+workload, and engine — the catalogue the user-interface layer and the
+prescription repository draw from.
+"""
+
+from __future__ import annotations
+
+from repro.core import registry
+
+_registered = False
+
+
+def register_default_components(force: bool = False) -> None:
+    """Idempotently register the built-in generators, workloads, engines."""
+    global _registered
+    if _registered and not force:
+        return
+
+    from repro.datagen.graph import (
+        ErdosRenyiGenerator,
+        PreferentialAttachmentGenerator,
+        RmatGraphGenerator,
+    )
+    from repro.datagen.kv import KeyValueGenerator
+    from repro.datagen.media import SyntheticImageGenerator
+    from repro.datagen.mixture import GaussianMixtureGenerator
+    from repro.datagen.resume import ResumeGenerator
+    from repro.datagen.stream import PoissonArrivals, StreamGenerator
+    from repro.datagen.table import FittedTableGenerator
+    from repro.datagen.text import (
+        LdaTextGenerator,
+        RandomTextGenerator,
+        UnigramTextGenerator,
+    )
+    from repro.engines.dbms import DbmsEngine
+    from repro.engines.dfs import DistributedFileSystem
+    from repro.engines.mapreduce import MapReduceEngine
+    from repro.engines.nosql import NoSqlStore
+    from repro.engines.streaming import StreamingEngine
+    from repro.workloads import ALL_WORKLOADS
+
+    if force:
+        registry.generators.clear()
+        registry.workloads.clear()
+        registry.engines.clear()
+
+    generator_factories = {
+        "random-text": RandomTextGenerator,
+        "unigram-text": UnigramTextGenerator,
+        # A small iteration count keeps interactive runs snappy; raise it
+        # through a custom prescription for higher-fidelity veracity.
+        "lda-text": lambda: LdaTextGenerator(iterations=15),
+        "fitted-table": FittedTableGenerator,
+        "rmat-graph": RmatGraphGenerator,
+        "pa-graph": PreferentialAttachmentGenerator,
+        "er-graph": ErdosRenyiGenerator,
+        "poisson-stream": lambda: StreamGenerator(
+            arrivals=PoissonArrivals(rate=1000.0), update_fraction=0.2
+        ),
+        "kv-records": KeyValueGenerator,
+        "mixture-table": GaussianMixtureGenerator,
+        "texture-images": SyntheticImageGenerator,
+        "resumes": ResumeGenerator,
+    }
+    for name, factory in generator_factories.items():
+        if name not in registry.generators:
+            registry.generators.register(name, factory)
+
+    for workload_class in ALL_WORKLOADS:
+        if workload_class.name not in registry.workloads:
+            registry.workloads.register(workload_class.name, workload_class)
+
+    engine_factories = {
+        "mapreduce": MapReduceEngine,
+        "dfs": DistributedFileSystem,
+        "dbms": DbmsEngine,
+        "nosql": NoSqlStore,
+        "streaming": StreamingEngine,
+    }
+    for name, factory in engine_factories.items():
+        if name not in registry.engines:
+            registry.engines.register(name, factory)
+
+    _registered = True

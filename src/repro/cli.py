@@ -1,0 +1,287 @@
+"""Command-line interface to the benchmarking framework.
+
+Usability is one of the paper's explicit requirements (Section 2.3:
+"ease of deploying, configuring, and use … convenient user interfaces"),
+so the framework ships a CLI::
+
+    repro-bench list                      # prescriptions, engines, generators
+    repro-bench run micro-wordcount --volume 300 --repeats 3
+    repro-bench run oltp-read-write --engine nosql --param operation_count=500
+    repro-bench generate lda-text --volume 50 --fit-on text-corpus --format text-lines
+    repro-bench tables                    # regenerate Table 1 and Table 2
+    repro-bench miniature HiBench --scale 0.5
+
+Every command is also callable in-process via :func:`main` (what the
+tests do).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.errors import ReproError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="A 4V-aware big data benchmarking framework "
+        "(reproduction of Han & Lu, 'On Big Data Benchmarking', 2014).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list prescriptions, engines, "
+                                     "generators, workloads, and formats")
+
+    run_parser = commands.add_parser(
+        "run", help="run a prescription through the five-step process"
+    )
+    run_parser.add_argument("prescription", help="prescription name")
+    run_parser.add_argument("--engine", action="append", default=[],
+                            help="engine(s) to run on (default: all "
+                                 "supported)")
+    run_parser.add_argument("--volume", type=int, default=None,
+                            help="data volume override")
+    run_parser.add_argument("--repeats", type=int, default=1)
+    run_parser.add_argument("--partitions", type=int, default=1,
+                            help="parallel data-generator partitions")
+    run_parser.add_argument("--param", action="append", default=[],
+                            metavar="KEY=VALUE",
+                            help="workload parameter override")
+    run_parser.add_argument("--json", action="store_true",
+                            help="emit results as JSON")
+    run_parser.add_argument("--repository", default=None,
+                            help="load prescriptions from a JSON file "
+                                 "instead of the built-in repository")
+
+    export_parser = commands.add_parser(
+        "export-prescriptions",
+        help="write the prescription repository to a JSON file (§5.2 "
+             "reusable prescriptions)",
+    )
+    export_parser.add_argument("path", help="output file path")
+
+    generate_parser = commands.add_parser(
+        "generate", help="run one data generator and print a sample"
+    )
+    generate_parser.add_argument("generator", help="registered generator name")
+    generate_parser.add_argument("--volume", type=int, default=100)
+    generate_parser.add_argument("--fit-on", default=None,
+                                 help="seed data set for veracity-aware "
+                                      "generators")
+    generate_parser.add_argument("--format", dest="format_name",
+                                 default=None,
+                                 help="convert output to this format")
+    generate_parser.add_argument("--sample", type=int, default=5,
+                                 help="records to print")
+    generate_parser.add_argument("--seed", type=int, default=0)
+
+    commands.add_parser(
+        "tables", help="regenerate the paper's Table 1 and Table 2"
+    )
+
+    miniature_parser = commands.add_parser(
+        "miniature", help="run a surveyed suite's miniature"
+    )
+    miniature_parser.add_argument("suite", help="suite name (see `tables`)")
+    miniature_parser.add_argument("--scale", type=float, default=1.0)
+
+    return parser
+
+
+def _parse_params(entries: list[str]) -> dict[str, object]:
+    params: dict[str, object] = {}
+    for entry in entries:
+        if "=" not in entry:
+            raise SystemExit(f"--param expects KEY=VALUE, got {entry!r}")
+        key, _, raw = entry.partition("=")
+        value: object = raw
+        for caster in (int, float):
+            try:
+                value = caster(raw)
+                break
+            except ValueError:
+                continue
+        params[key] = value
+    return params
+
+
+def _command_list(out) -> int:
+    from repro import BigDataBenchmark
+    from repro.datagen.formats import available_formats
+
+    framework = BigDataBenchmark()
+    ui = framework.user_interface
+    print("prescriptions:", file=out)
+    for name in ui.available_prescriptions():
+        prescription = framework.prescription(name)
+        print(f"  {name:36s} [{prescription.domain}] "
+              f"workload={prescription.workload}", file=out)
+    print("engines:       " + ", ".join(ui.available_engines()), file=out)
+    print("generators:    " + ", ".join(ui.available_generators()), file=out)
+    print("workloads:     " + ", ".join(ui.available_workloads()), file=out)
+    print("formats:       " + ", ".join(available_formats()), file=out)
+    return 0
+
+
+def _command_run(args, out) -> int:
+    from repro import BenchmarkSpec, BigDataBenchmark
+    from repro.execution.report import results_json, results_table
+
+    repository = None
+    if getattr(args, "repository", None):
+        from pathlib import Path
+
+        from repro.core.serialization import repository_from_json
+
+        repository = repository_from_json(
+            Path(args.repository).read_text()
+        )
+    framework = BigDataBenchmark(repository=repository)
+    spec = BenchmarkSpec(
+        prescription=args.prescription,
+        engines=list(args.engine),
+        volume=args.volume,
+        repeats=args.repeats,
+        data_partitions=args.partitions,
+        params=_parse_params(args.param),
+    )
+    report = framework.run(spec)
+    if args.json:
+        print(results_json(report.results), file=out)
+        return 0
+    print("five-step process:", file=out)
+    for step in report.steps:
+        print(f"  {step.step:22s} {step.elapsed_seconds * 1e3:10.2f} ms",
+              file=out)
+    metric_names = (
+        framework.prescription(args.prescription).metric_names
+        or ["duration", "throughput"]
+    )
+    print(results_table(report.results, metric_names), file=out)
+    return 0
+
+
+def _command_generate(args, out) -> int:
+    from repro.core import registry
+    from repro.core.prescription import load_seed
+    from repro.datagen.formats import convert
+
+    generator = registry.generators.create(args.generator)
+    generator.seed = args.seed
+    if args.fit_on:
+        generator.fit(load_seed(args.fit_on))
+    dataset = generator.generate(args.volume)
+    print(f"generated {dataset.num_records} records "
+          f"({dataset.data_type.label}, ~{dataset.estimated_bytes()} bytes)",
+          file=out)
+    if args.format_name:
+        converted = convert(dataset, args.format_name)
+        payload = converted.payload
+        sample = payload[: args.sample] if hasattr(payload, "__getitem__") \
+            else list(payload)[: args.sample]
+        for line in sample:
+            print(f"  {line}", file=out)
+    else:
+        for record in dataset.head(args.sample):
+            print(f"  {record!r}", file=out)
+    return 0
+
+
+def _command_tables(out) -> int:
+    from repro.execution.report import ascii_table
+    from repro.suites import (
+        generate_table1,
+        generate_table2,
+        table1_matches_paper,
+        table2_matches_paper,
+    )
+
+    print("Table 1 — data generation techniques:", file=out)
+    print(
+        ascii_table(
+            [
+                {"Benchmark": row.benchmark, "Volume": row.volume,
+                 "Velocity": row.velocity, "Variety": row.variety,
+                 "Veracity": row.veracity}
+                for row in generate_table1()
+            ]
+        ),
+        file=out,
+    )
+    ok1, _ = table1_matches_paper()
+    print(f"matches the paper: {'yes' if ok1 else 'NO'}", file=out)
+
+    print("\nTable 2 — benchmarking techniques:", file=out)
+    print(
+        ascii_table(
+            [
+                {"Benchmark": row.benchmark, "Type": row.workload_type,
+                 "Examples": row.examples[:50], "Stacks": row.software_stacks}
+                for row in generate_table2()
+            ]
+        ),
+        file=out,
+    )
+    ok2, _ = table2_matches_paper()
+    print(f"matches the paper: {'yes' if ok2 else 'NO'}", file=out)
+    return 0 if ok1 and ok2 else 1
+
+
+def _command_miniature(args, out) -> int:
+    from repro.execution.report import ascii_table
+    from repro.suites import run_miniature
+
+    report = run_miniature(args.suite, scale=args.scale)
+    print(f"{report.suite}: {report.notes}", file=out)
+    print(
+        ascii_table(
+            [
+                {"workload": name, "duration_s": seconds}
+                for name, seconds in sorted(report.summary().items())
+            ]
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _command_export(args, out) -> int:
+    from pathlib import Path
+
+    from repro.core.prescription import builtin_repository
+    from repro.core.serialization import repository_to_json
+
+    repository = builtin_repository()
+    Path(args.path).write_text(repository_to_json(repository))
+    print(f"wrote {len(repository)} prescriptions to {args.path}", file=out)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _command_list(out)
+        if args.command == "run":
+            return _command_run(args, out)
+        if args.command == "generate":
+            return _command_generate(args, out)
+        if args.command == "tables":
+            return _command_tables(out)
+        if args.command == "miniature":
+            return _command_miniature(args, out)
+        if args.command == "export-prescriptions":
+            return _command_export(args, out)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""The paper's primary contribution: the benchmark framework core.
+
+Sub-modules implement the five-step benchmarking process (Figure 1), the
+three-layer architecture (Figure 2), abstract operations and workload
+patterns (Section 3.3), prescriptions and the test generator (Figure 4),
+and the metric taxonomy (Section 3.1).
+"""

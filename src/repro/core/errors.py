@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro benchmarking framework.
+
+Every error raised by the framework derives from :class:`ReproError`, so
+callers embedding the framework can catch a single base class.  Sub-classes
+map one-to-one onto the stages of the benchmarking process described in the
+paper (Figure 1): specification (planning), data generation, test
+generation, and execution.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro framework."""
+
+
+class SpecError(ReproError):
+    """A benchmark specification is invalid or incomplete (Planning step)."""
+
+
+class GenerationError(ReproError):
+    """A data generator failed or was misconfigured (Data Generation step)."""
+
+
+class ModelNotFittedError(GenerationError):
+    """A veracity-preserving generator was asked to generate before ``fit``."""
+
+
+class TestGenerationError(ReproError):
+    """The test generator could not produce a prescribed test (Figure 4)."""
+
+
+class UnknownOperationError(TestGenerationError):
+    """A prescription references an operation that no engine implements."""
+
+
+class ExecutionError(ReproError):
+    """A prescribed test failed while running on an engine (Execution step)."""
+
+
+class EngineError(ExecutionError):
+    """An execution engine (substrate) raised an internal error."""
+
+
+class FormatConversionError(ExecutionError):
+    """A data set could not be converted to the format a test requires."""
+
+
+class RegistryError(ReproError):
+    """A component name was not found in (or clashed within) a registry."""
+
+
+class MetricError(ReproError):
+    """A metric could not be computed from the collected samples."""

@@ -1,0 +1,180 @@
+"""The five-step benchmarking process (Figure 1).
+
+Planning → Data Generation → Test Generation → Execution → Analysis &
+Evaluation.  Each step produces a :class:`StepReport` so the whole run is
+auditable; :class:`BenchmarkingProcess.execute` drives a
+:class:`~repro.core.spec.BenchmarkSpec` through all five.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core import registry
+from repro.core.prescription import PrescriptionRepository, builtin_repository
+from repro.core.results import ResultAnalyzer, RunResult
+from repro.core.spec import BenchmarkSpec
+from repro.core.test_generator import PrescribedTest, TestGenerator
+from repro.datagen.base import DataSet
+
+
+@dataclass
+class StepReport:
+    """Evidence from one process step."""
+
+    step: str
+    elapsed_seconds: float
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ProcessReport:
+    """The complete audit trail of one benchmarking run."""
+
+    spec: BenchmarkSpec
+    steps: list[StepReport] = field(default_factory=list)
+    results: list[RunResult] = field(default_factory=list)
+
+    @property
+    def analyzer(self) -> ResultAnalyzer:
+        return ResultAnalyzer(self.results)
+
+    def step(self, name: str) -> StepReport:
+        for step in self.steps:
+            if step.step == name:
+                return step
+        raise KeyError(f"no step named {name!r}")
+
+
+class BenchmarkingProcess:
+    """Drives a benchmark spec through the five steps of Figure 1."""
+
+    STEP_NAMES = (
+        "planning",
+        "data-generation",
+        "test-generation",
+        "execution",
+        "analysis-evaluation",
+    )
+
+    def __init__(
+        self,
+        repository: PrescriptionRepository | None = None,
+        test_generator: TestGenerator | None = None,
+    ) -> None:
+        self.repository = repository or builtin_repository()
+        self.test_generator = test_generator or TestGenerator(self.repository)
+
+    def execute(self, spec: BenchmarkSpec) -> ProcessReport:
+        """Run all five steps and return the audit trail."""
+        report = ProcessReport(spec=spec)
+
+        # Step 1: Planning — validate the spec, resolve engines and metrics.
+        started = time.perf_counter()
+        spec.validate(self.repository)
+        prescription = self.repository.get(spec.prescription)
+        engine_names = spec.resolved_engines(self.repository)
+        metric_names = spec.metric_names or prescription.metric_names
+        report.steps.append(
+            StepReport(
+                "planning",
+                time.perf_counter() - started,
+                {
+                    "prescription": prescription.describe(),
+                    "engines": engine_names,
+                    "metrics": metric_names,
+                },
+            )
+        )
+
+        # Step 2: Data Generation — one data set shared by every engine.
+        started = time.perf_counter()
+        requirement = prescription.data
+        if spec.data_partitions > 1:
+            from dataclasses import replace
+
+            requirement = replace(requirement, num_partitions=spec.data_partitions)
+        dataset: DataSet = self.test_generator.select_data(requirement, spec.volume)
+        report.steps.append(
+            StepReport(
+                "data-generation",
+                time.perf_counter() - started,
+                {
+                    "generator": requirement.generator,
+                    "records": dataset.num_records,
+                    "bytes": dataset.estimated_bytes(),
+                    "partitions": spec.data_partitions,
+                },
+            )
+        )
+
+        # Step 3: Test Generation — bind the prescription per engine.
+        started = time.perf_counter()
+        tests: list[PrescribedTest] = []
+        workload = self.test_generator.workloads.create(prescription.workload)
+        for engine_name in engine_names:
+            tests.append(
+                PrescribedTest(
+                    prescription=prescription,
+                    engine=self.test_generator.engines.create(engine_name),
+                    workload=workload,
+                    dataset=dataset,
+                )
+            )
+        report.steps.append(
+            StepReport(
+                "test-generation",
+                time.perf_counter() - started,
+                {"tests": [test.name for test in tests]},
+            )
+        )
+
+        # Step 4: Execution — repeats on fresh engines.
+        started = time.perf_counter()
+        for test, engine_name in zip(tests, engine_names):
+            workload_results = []
+            for _ in range(spec.repeats):
+                fresh = PrescribedTest(
+                    prescription=prescription,
+                    engine=registry.engines.create(engine_name)
+                    if engine_name in registry.engines
+                    else test.engine,
+                    workload=workload,
+                    dataset=dataset,
+                )
+                workload_results.append(fresh.run(**spec.params))
+            report.results.append(
+                RunResult.from_workload_results(test.name, workload_results)
+            )
+        report.steps.append(
+            StepReport(
+                "execution",
+                time.perf_counter() - started,
+                {"runs": spec.repeats * len(tests)},
+            )
+        )
+
+        # Step 5: Analysis & Evaluation — rank engines on the lead metric.
+        started = time.perf_counter()
+        analysis: dict[str, Any] = {}
+        if metric_names and report.results:
+            lead = metric_names[0]
+            lower_is_better = lead in ("duration", "mean_latency", "latency_p99",
+                                       "latency_p95", "energy", "cost")
+            ranking = report.analyzer.ranking(
+                lead, higher_is_better=not lower_is_better
+            )
+            analysis["lead_metric"] = lead
+            analysis["ranking"] = [
+                (result.engine, result.mean(lead))
+                for result in ranking
+                if lead in result.metrics
+            ]
+        report.steps.append(
+            StepReport(
+                "analysis-evaluation", time.perf_counter() - started, analysis
+            )
+        )
+        return report

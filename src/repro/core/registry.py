@@ -1,0 +1,77 @@
+"""Component registries.
+
+The framework wires data generators, workloads, engines, and metrics by
+name, so the user-interface layer can offer choices and prescriptions can
+reference components declaratively (Figure 2).  A :class:`Registry` is a
+typed name → factory map; module-level instances hold the framework-wide
+catalogues.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from typing import Generic, TypeVar
+
+from repro.core.errors import RegistryError
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
+    """A name → factory registry with helpful error messages."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._factories: dict[str, Callable[[], T]] = {}
+
+    def register(self, name: str, factory: Callable[[], T]) -> None:
+        """Register a factory; duplicate names are an error."""
+        if name in self._factories:
+            raise RegistryError(
+                f"{self.kind} {name!r} is already registered"
+            )
+        self._factories[name] = factory
+
+    def register_instance(self, name: str, instance: T) -> None:
+        """Register an already-built instance (returned on every create)."""
+        self.register(name, lambda: instance)
+
+    def create(self, name: str) -> T:
+        """Instantiate the named component."""
+        factory = self._factories.get(name)
+        if factory is None:
+            raise RegistryError(
+                f"unknown {self.kind} {name!r}; available: {self.names()}"
+            )
+        return factory()
+
+    def names(self) -> list[str]:
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    def clear(self) -> None:
+        """Remove every registration (used by tests)."""
+        self._factories.clear()
+
+
+# ---------------------------------------------------------------------------
+# Framework-wide registries.  Factories live with the components; importing
+# repro.workloads / repro.engines populates them (see repro/__init__.py).
+# ---------------------------------------------------------------------------
+
+#: name → DataGenerator factory
+generators: Registry = Registry("data generator")
+#: name → Workload factory
+workloads: Registry = Registry("workload")
+#: name → Engine factory
+engines: Registry = Registry("engine")
+#: name → Metric factory
+metrics: Registry = Registry("metric")

@@ -1,0 +1,168 @@
+"""Run results and the result analyzer (Execution layer, Figure 2).
+
+A :class:`RunResult` aggregates the repeated executions of one prescribed
+test into metric statistics; :class:`ResultAnalyzer` compares results
+across engines or configurations — the paper's example use: "benchmarking
+results can identify the performance bottlenecks in big data systems".
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.errors import MetricError
+from repro.core.metrics import MetricSuite
+
+
+@dataclass
+class MetricStats:
+    """Across-repeat statistics of one metric."""
+
+    name: str
+    samples: list[float]
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.samples)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples)
+
+    @property
+    def stdev(self) -> float:
+        if len(self.samples) < 2:
+            return 0.0
+        return statistics.stdev(self.samples)
+
+
+@dataclass
+class RunResult:
+    """The aggregated outcome of one prescribed test across repeats."""
+
+    test_name: str
+    workload: str
+    engine: str
+    repeats: int
+    metrics: dict[str, MetricStats] = field(default_factory=dict)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def metric(self, name: str) -> MetricStats:
+        try:
+            return self.metrics[name]
+        except KeyError:
+            raise MetricError(
+                f"run {self.test_name!r} has no metric {name!r}; "
+                f"available: {sorted(self.metrics)}"
+            ) from None
+
+    def mean(self, name: str) -> float:
+        return self.metric(name).mean
+
+    @classmethod
+    def from_workload_results(
+        cls,
+        test_name: str,
+        workload_results: list,
+        suite: MetricSuite | None = None,
+    ) -> "RunResult":
+        """Compute metrics for each repeat and collect the statistics."""
+        if not workload_results:
+            raise MetricError("cannot build a RunResult from zero runs")
+        suite = suite or MetricSuite.standard()
+        per_metric: dict[str, list[float]] = {}
+        for workload_result in workload_results:
+            values = suite.compute_all(workload_result.evidence())
+            for name, value in values.items():
+                per_metric.setdefault(name, []).append(value)
+        first = workload_results[0]
+        return cls(
+            test_name=test_name,
+            workload=first.workload,
+            engine=first.engine,
+            repeats=len(workload_results),
+            metrics={
+                name: MetricStats(name, samples)
+                for name, samples in per_metric.items()
+            },
+            extra=dict(first.extra),
+        )
+
+
+class ResultAnalyzer:
+    """Cross-result comparison (who wins, by what factor)."""
+
+    def __init__(self, results: list[RunResult]) -> None:
+        self.results = list(results)
+
+    def add(self, result: RunResult) -> None:
+        self.results.append(result)
+
+    def by_engine(self) -> dict[str, list[RunResult]]:
+        grouped: dict[str, list[RunResult]] = {}
+        for result in self.results:
+            grouped.setdefault(result.engine, []).append(result)
+        return grouped
+
+    def ranking(self, metric: str, higher_is_better: bool = True) -> list[RunResult]:
+        """Results ordered best-first by one metric's mean."""
+        comparable = [r for r in self.results if metric in r.metrics]
+        return sorted(
+            comparable,
+            key=lambda result: result.mean(metric),
+            reverse=higher_is_better,
+        )
+
+    def speedup(
+        self, metric: str, baseline_engine: str, higher_is_better: bool = True
+    ) -> dict[str, float]:
+        """Per-engine factor relative to a baseline engine's mean."""
+        by_engine = self.by_engine()
+        if baseline_engine not in by_engine:
+            raise MetricError(
+                f"no results for baseline engine {baseline_engine!r}; "
+                f"engines: {sorted(by_engine)}"
+            )
+        baseline_values = [
+            result.mean(metric)
+            for result in by_engine[baseline_engine]
+            if metric in result.metrics
+        ]
+        if not baseline_values:
+            raise MetricError(
+                f"baseline engine has no samples of metric {metric!r}"
+            )
+        baseline = statistics.fmean(baseline_values)
+        factors: dict[str, float] = {}
+        for engine, results in by_engine.items():
+            values = [r.mean(metric) for r in results if metric in r.metrics]
+            if not values:
+                continue
+            mean_value = statistics.fmean(values)
+            if higher_is_better:
+                factors[engine] = mean_value / baseline if baseline else float("inf")
+            else:
+                factors[engine] = baseline / mean_value if mean_value else float("inf")
+        return factors
+
+    def summary_rows(self, metric_names: list[str]) -> list[dict[str, Any]]:
+        """Flat rows (one per result) for reporting."""
+        rows = []
+        for result in self.results:
+            row: dict[str, Any] = {
+                "test": result.test_name,
+                "workload": result.workload,
+                "engine": result.engine,
+                "repeats": result.repeats,
+            }
+            for name in metric_names:
+                if name in result.metrics:
+                    row[name] = result.mean(name)
+            rows.append(row)
+        return rows

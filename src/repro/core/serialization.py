@@ -1,0 +1,177 @@
+"""Prescription (de)serialization.
+
+Section 5.2 asks for "a repository of reusable prescriptions to simplify
+the generation of prescribed tests".  Reuse across teams means files:
+this module round-trips prescriptions (and whole repositories) through a
+plain-JSON representation, so a prescription authored on one machine runs
+anywhere the referenced generator and workload are registered.
+
+Patterns serialize structurally: single/multi patterns by their operation
+lists; iterative patterns by body + stopping condition (fixed count or
+convergence tolerance/cap).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.errors import TestGenerationError
+from repro.core.operations import operation
+from repro.core.patterns import (
+    ConvergenceCondition,
+    FixedIterations,
+    IterativeOperationPattern,
+    MultiOperationPattern,
+    SingleOperationPattern,
+    WorkloadPattern,
+)
+from repro.core.prescription import (
+    DataRequirement,
+    Prescription,
+    PrescriptionRepository,
+)
+from repro.datagen.base import DataType
+
+
+def _data_type_by_label(label: str) -> DataType:
+    for data_type in DataType:
+        if data_type.label == label:
+            return data_type
+    raise TestGenerationError(
+        f"unknown data type {label!r}; "
+        f"known: {[dt.label for dt in DataType]}"
+    )
+
+
+def pattern_to_dict(pattern: WorkloadPattern) -> dict[str, Any]:
+    """Structural encoding of any of the three workload patterns."""
+    if isinstance(pattern, SingleOperationPattern):
+        return {"kind": "single-operation",
+                "operation": pattern.operation.name}
+    if isinstance(pattern, MultiOperationPattern):
+        return {"kind": "multi-operation",
+                "operations": [op.name for op in pattern.operations]}
+    if isinstance(pattern, IterativeOperationPattern):
+        condition = pattern.stopping_condition
+        if isinstance(condition, FixedIterations):
+            stop: dict[str, Any] = {"kind": "fixed", "count": condition.count}
+        elif isinstance(condition, ConvergenceCondition):
+            stop = {
+                "kind": "convergence",
+                "tolerance": condition.tolerance,
+                "max_iterations": condition.max_iterations,
+            }
+        else:
+            raise TestGenerationError(
+                f"cannot serialize stopping condition "
+                f"{type(condition).__name__}"
+            )
+        return {
+            "kind": "iterative-operation",
+            "body": [op.name for op in pattern.body],
+            "stop": stop,
+        }
+    raise TestGenerationError(
+        f"cannot serialize pattern {type(pattern).__name__}"
+    )
+
+
+def pattern_from_dict(payload: dict[str, Any]) -> WorkloadPattern:
+    """Inverse of :func:`pattern_to_dict`."""
+    kind = payload.get("kind")
+    if kind == "single-operation":
+        return SingleOperationPattern(operation(payload["operation"]))
+    if kind == "multi-operation":
+        return MultiOperationPattern(
+            [operation(name) for name in payload["operations"]]
+        )
+    if kind == "iterative-operation":
+        stop = payload["stop"]
+        if stop["kind"] == "fixed":
+            condition: Any = FixedIterations(stop["count"])
+        elif stop["kind"] == "convergence":
+            condition = ConvergenceCondition(
+                tolerance=stop["tolerance"],
+                max_iterations=stop["max_iterations"],
+            )
+        else:
+            raise TestGenerationError(
+                f"unknown stopping condition kind {stop['kind']!r}"
+            )
+        return IterativeOperationPattern(
+            [operation(name) for name in payload["body"]], condition
+        )
+    raise TestGenerationError(f"unknown pattern kind {kind!r}")
+
+
+def prescription_to_dict(prescription: Prescription) -> dict[str, Any]:
+    """A JSON-safe encoding of one prescription."""
+    return {
+        "name": prescription.name,
+        "domain": prescription.domain,
+        "data": {
+            "generator": prescription.data.generator,
+            "data_type": prescription.data.data_type.label,
+            "volume": prescription.data.volume,
+            "num_partitions": prescription.data.num_partitions,
+            "fit_on": prescription.data.fit_on,
+        },
+        "operations": [op.name for op in prescription.operations],
+        "pattern": pattern_to_dict(prescription.pattern),
+        "workload": prescription.workload,
+        "metrics": list(prescription.metric_names),
+        "params": dict(prescription.params),
+    }
+
+
+def prescription_from_dict(payload: dict[str, Any]) -> Prescription:
+    """Inverse of :func:`prescription_to_dict`."""
+    try:
+        data = payload["data"]
+        return Prescription(
+            name=payload["name"],
+            domain=payload["domain"],
+            data=DataRequirement(
+                generator=data["generator"],
+                data_type=_data_type_by_label(data["data_type"]),
+                volume=data["volume"],
+                num_partitions=data.get("num_partitions", 1),
+                fit_on=data.get("fit_on"),
+            ),
+            operations=[operation(name) for name in payload["operations"]],
+            pattern=pattern_from_dict(payload["pattern"]),
+            workload=payload["workload"],
+            metric_names=list(payload.get("metrics", [])),
+            params=dict(payload.get("params", {})),
+        )
+    except KeyError as missing:
+        raise TestGenerationError(
+            f"prescription payload is missing {missing}"
+        ) from None
+
+
+def repository_to_json(repository: PrescriptionRepository) -> str:
+    """Serialize every prescription in a repository."""
+    return json.dumps(
+        [
+            prescription_to_dict(repository.get(name))
+            for name in repository.names()
+        ],
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def repository_from_json(text: str) -> PrescriptionRepository:
+    """Load a repository from its JSON form."""
+    repository = PrescriptionRepository()
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise TestGenerationError(f"invalid repository JSON: {error}") from None
+    if not isinstance(payload, list):
+        raise TestGenerationError("repository JSON must be a list")
+    for entry in payload:
+        repository.add(prescription_from_dict(entry))
+    return repository

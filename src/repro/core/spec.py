@@ -1,0 +1,81 @@
+"""Benchmark specifications (the User Interface Layer, Figure 2).
+
+A :class:`BenchmarkSpec` is what a system owner writes: which
+prescription (or domain), which engines, the preferred data volume and
+velocity, which metrics, and how many repeats.  Validation happens
+eagerly so misconfiguration fails at the Planning step, not mid-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import registry
+from repro.core.errors import SpecError
+from repro.core.prescription import PrescriptionRepository
+
+
+@dataclass
+class BenchmarkSpec:
+    """A user's benchmarking requirements."""
+
+    #: Name of a prescription in the repository.
+    prescription: str
+    #: Engines to run on; empty means every engine the workload supports.
+    engines: list[str] = field(default_factory=list)
+    #: Override of the prescription's data volume (generator-native units).
+    volume: int | None = None
+    #: Parallel generator partitions (data velocity, mechanism 1).
+    data_partitions: int = 1
+    #: Metric names to report; empty means the prescription's defaults.
+    metric_names: list[str] = field(default_factory=list)
+    repeats: int = 1
+    #: Workload parameter overrides.
+    params: dict = field(default_factory=dict)
+
+    def validate(self, repository: PrescriptionRepository) -> None:
+        """Raise :class:`SpecError` on any inconsistency."""
+        if self.prescription not in repository:
+            raise SpecError(
+                f"unknown prescription {self.prescription!r}; "
+                f"available: {repository.names()}"
+            )
+        if self.volume is not None and self.volume < 0:
+            raise SpecError(f"volume must be non-negative, got {self.volume}")
+        if self.data_partitions <= 0:
+            raise SpecError(
+                f"data_partitions must be positive, got {self.data_partitions}"
+            )
+        if self.repeats <= 0:
+            raise SpecError(f"repeats must be positive, got {self.repeats}")
+        prescription = repository.get(self.prescription)
+        workload_name = prescription.workload
+        if workload_name not in registry.workloads:
+            raise SpecError(
+                f"prescription {self.prescription!r} references unregistered "
+                f"workload {workload_name!r}"
+            )
+        workload = registry.workloads.create(workload_name)
+        for engine_name in self.engines:
+            if engine_name not in registry.engines:
+                raise SpecError(
+                    f"unknown engine {engine_name!r}; "
+                    f"available: {registry.engines.names()}"
+                )
+            if not workload.supports(engine_name):
+                raise SpecError(
+                    f"workload {workload_name!r} does not support engine "
+                    f"{engine_name!r}; supported: {workload.supported_engines()}"
+                )
+
+    def resolved_engines(self, repository: PrescriptionRepository) -> list[str]:
+        """The engines to run on, defaulting to all supported ones."""
+        if self.engines:
+            return list(self.engines)
+        prescription = repository.get(self.prescription)
+        workload = registry.workloads.create(prescription.workload)
+        return [
+            engine_name
+            for engine_name in workload.supported_engines()
+            if engine_name in registry.engines
+        ]

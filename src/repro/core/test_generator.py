@@ -1,0 +1,184 @@
+"""The test generator (Figure 4).
+
+Implements the five-step test-generation process:
+
+1. select a data set (through the generator registry, fitting
+   veracity-aware generators on their seed data),
+2. select abstract operations,
+3. select a workload pattern,
+4. assemble a prescription,
+5. bind the prescription to a specific system via the system
+   configuration tools, producing a :class:`PrescribedTest`.
+
+Steps 1–4 are also available separately so callers can build custom
+prescriptions; :meth:`TestGenerator.generate` performs step 5 for a
+prescription from the repository.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core import registry
+from repro.core.errors import TestGenerationError
+from repro.core.operations import AbstractOperation
+from repro.core.patterns import WorkloadPattern
+from repro.core.prescription import (
+    DataRequirement,
+    Prescription,
+    PrescriptionRepository,
+    builtin_repository,
+    load_seed,
+)
+from repro.datagen.base import DataGenerator, DataSet
+from repro.engines.base import Engine
+
+
+@dataclass
+class PrescribedTest:
+    """A prescription bound to a concrete engine and generated data.
+
+    The final artifact of Figure 4: runnable on exactly one system, while
+    the prescription it came from remains system-independent.
+    """
+
+    prescription: Prescription
+    engine: Engine
+    workload: Any  # repro.workloads.base.Workload (kept loose to avoid cycle)
+    dataset: DataSet
+
+    @property
+    def name(self) -> str:
+        return f"{self.prescription.name}@{self.engine.name}"
+
+    def run(self, **overrides: Any):
+        """Execute the prescribed test; returns a WorkloadResult."""
+        params = {**self.prescription.params, **overrides}
+        return self.workload.run(self.engine, self.dataset, **params)
+
+
+class TestGenerator:
+    """Generates prescribed tests from prescriptions (Figure 4)."""
+
+    __test__ = False  # "Test" prefix is domain vocabulary, not a pytest class
+
+    def __init__(
+        self,
+        repository: PrescriptionRepository | None = None,
+        generator_registry: registry.Registry | None = None,
+        workload_registry: registry.Registry | None = None,
+        engine_registry: registry.Registry | None = None,
+    ) -> None:
+        self.repository = repository or builtin_repository()
+        self.generators = generator_registry or registry.generators
+        self.workloads = workload_registry or registry.workloads
+        self.engines = engine_registry or registry.engines
+
+    # ------------------------------------------------------------------
+    # Step 1: data selection
+    # ------------------------------------------------------------------
+
+    def select_data(
+        self, requirement: DataRequirement, volume_override: int | None = None
+    ) -> DataSet:
+        """Instantiate, fit, and run the generator a prescription names."""
+        generator: DataGenerator = self.generators.create(requirement.generator)
+        if generator.data_type is not requirement.data_type:
+            raise TestGenerationError(
+                f"generator {requirement.generator!r} produces "
+                f"{generator.data_type.label}, but the prescription needs "
+                f"{requirement.data_type.label}"
+            )
+        if requirement.fit_on is not None:
+            generator.fit(load_seed(requirement.fit_on))
+        volume = volume_override if volume_override is not None else requirement.volume
+        if requirement.num_partitions > 1:
+            return generator.generate_parallel(volume, requirement.num_partitions)
+        return generator.generate(volume)
+
+    # ------------------------------------------------------------------
+    # Steps 2-4: prescription assembly
+    # ------------------------------------------------------------------
+
+    def make_prescription(
+        self,
+        name: str,
+        domain: str,
+        data: DataRequirement,
+        operations: list[AbstractOperation],
+        pattern: WorkloadPattern,
+        workload: str,
+        metric_names: list[str] | None = None,
+        params: dict[str, Any] | None = None,
+    ) -> Prescription:
+        """Assemble (and register) a new prescription."""
+        if workload not in self.workloads:
+            raise TestGenerationError(
+                f"prescription references unknown workload {workload!r}; "
+                f"registered: {self.workloads.names()}"
+            )
+        prescription = Prescription(
+            name=name,
+            domain=domain,
+            data=data,
+            operations=operations,
+            pattern=pattern,
+            workload=workload,
+            metric_names=metric_names or [],
+            params=params or {},
+        )
+        self.repository.add(prescription)
+        return prescription
+
+    # ------------------------------------------------------------------
+    # Step 5: bind to a system
+    # ------------------------------------------------------------------
+
+    def generate(
+        self,
+        prescription: Prescription | str,
+        engine_name: str,
+        volume_override: int | None = None,
+    ) -> PrescribedTest:
+        """Produce a prescribed test for one engine (Figure 4, step 5)."""
+        if isinstance(prescription, str):
+            prescription = self.repository.get(prescription)
+        workload = self.workloads.create(prescription.workload)
+        if not workload.supports(engine_name):
+            raise TestGenerationError(
+                f"workload {prescription.workload!r} does not run on engine "
+                f"{engine_name!r}; supported: {workload.supported_engines()}"
+            )
+        engine: Engine = self.engines.create(engine_name)
+        dataset = self.select_data(prescription.data, volume_override)
+        return PrescribedTest(
+            prescription=prescription,
+            engine=engine,
+            workload=workload,
+            dataset=dataset,
+        )
+
+    def generate_for_all_engines(
+        self, prescription: Prescription | str, volume_override: int | None = None
+    ) -> list[PrescribedTest]:
+        """Bind one prescription to every engine its workload supports.
+
+        This is the cross-system comparison the functional view enables:
+        the same abstract test on every capable system.
+        """
+        if isinstance(prescription, str):
+            prescription = self.repository.get(prescription)
+        workload = self.workloads.create(prescription.workload)
+        tests = []
+        for engine_name in workload.supported_engines():
+            if engine_name in self.engines:
+                tests.append(
+                    self.generate(prescription, engine_name, volume_override)
+                )
+        if not tests:
+            raise TestGenerationError(
+                f"no registered engine supports workload "
+                f"{prescription.workload!r}"
+            )
+        return tests

@@ -1,0 +1,137 @@
+"""Data generators preserving the 4V properties of big data (Figure 3).
+
+The sub-modules cover the representative data sources of Section 2.1 —
+table, text, stream, and graph — plus the semi-structured derivatives
+(web logs, reviews), the velocity controllers, scale-down sampling, the
+veracity metrics, and format conversion.
+"""
+
+from repro.datagen.base import (
+    DataGenerator,
+    DataSet,
+    DataType,
+    StructureClass,
+    as_dataset,
+    mix_seed,
+)
+from repro.datagen.formats import available_formats, convert
+from repro.datagen.graph import (
+    ErdosRenyiGenerator,
+    PreferentialAttachmentGenerator,
+    RmatGraphGenerator,
+)
+from repro.datagen.media import SyntheticImageGenerator, image_features
+from repro.datagen.resume import ResumeGenerator, cluster_cohesion
+from repro.datagen.sampling import scale_down
+from repro.datagen.stream import (
+    BurstyArrivals,
+    EmpiricalArrivals,
+    EventKind,
+    PoissonArrivals,
+    StreamEvent,
+    StreamGenerator,
+    UniformArrivals,
+)
+from repro.datagen.table import (
+    Categorical,
+    FittedTableGenerator,
+    ForeignKey,
+    Gaussian,
+    SequentialKey,
+    TableGenerator,
+    TableSchema,
+    TextColumn,
+    UniformFloat,
+    UniformInt,
+    Zipf,
+    retail_star_schema,
+)
+from repro.datagen.text import (
+    LdaModel,
+    LdaTextGenerator,
+    RandomTextGenerator,
+    UnigramTextGenerator,
+    tokenize,
+    word_distribution,
+)
+from repro.datagen.velocity import (
+    PacedStream,
+    ParallelGenerationController,
+    UpdateScheduler,
+    VelocityReport,
+)
+from repro.datagen.veracity import (
+    VeracityReport,
+    chi_square_statistic,
+    graph_veracity,
+    jensen_shannon_divergence,
+    kl_divergence,
+    model_veracity,
+    stream_veracity,
+    table_veracity,
+    text_veracity,
+    topic_structure_veracity,
+    total_variation,
+)
+from repro.datagen.weblog import ReviewGenerator, WebLogGenerator
+
+__all__ = [
+    "BurstyArrivals",
+    "Categorical",
+    "DataGenerator",
+    "DataSet",
+    "DataType",
+    "EmpiricalArrivals",
+    "ErdosRenyiGenerator",
+    "EventKind",
+    "FittedTableGenerator",
+    "ForeignKey",
+    "Gaussian",
+    "LdaModel",
+    "LdaTextGenerator",
+    "PacedStream",
+    "ParallelGenerationController",
+    "PoissonArrivals",
+    "PreferentialAttachmentGenerator",
+    "RandomTextGenerator",
+    "ResumeGenerator",
+    "ReviewGenerator",
+    "RmatGraphGenerator",
+    "SequentialKey",
+    "StreamEvent",
+    "SyntheticImageGenerator",
+    "StreamGenerator",
+    "StructureClass",
+    "TableGenerator",
+    "TableSchema",
+    "TextColumn",
+    "UniformArrivals",
+    "UniformFloat",
+    "UniformInt",
+    "UnigramTextGenerator",
+    "UpdateScheduler",
+    "VelocityReport",
+    "VeracityReport",
+    "WebLogGenerator",
+    "Zipf",
+    "as_dataset",
+    "available_formats",
+    "cluster_cohesion",
+    "convert",
+    "chi_square_statistic",
+    "graph_veracity",
+    "image_features",
+    "jensen_shannon_divergence",
+    "kl_divergence",
+    "mix_seed",
+    "model_veracity",
+    "retail_star_schema",
+    "scale_down",
+    "stream_veracity",
+    "table_veracity",
+    "text_veracity",
+    "tokenize",
+    "topic_structure_veracity",
+    "total_variation",
+    "word_distribution",
+]

@@ -1,0 +1,243 @@
+"""Data set abstraction and the data-generator base class.
+
+This module implements the skeleton of the data-generation process of the
+paper (Figure 3): a generator may optionally *fit* a model on a real data
+set (step 2, veracity), then *generate* synthetic data at a requested
+volume (step 3, volume), possibly split into deterministic partitions so
+that generation can be parallelised (step 3, velocity).  Format conversion
+(step 4) lives in :mod:`repro.datagen.formats`.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.errors import GenerationError, ModelNotFittedError
+
+
+class StructureClass(enum.Enum):
+    """The paper's three structure classes of big data (Section 2.1)."""
+
+    STRUCTURED = "structured"
+    SEMI_STRUCTURED = "semi-structured"
+    UNSTRUCTURED = "unstructured"
+
+
+class DataType(enum.Enum):
+    """Representative data sources called out in Section 2.1 of the paper."""
+
+    TEXT = ("text", StructureClass.UNSTRUCTURED)
+    TABLE = ("table", StructureClass.STRUCTURED)
+    GRAPH = ("graph", StructureClass.UNSTRUCTURED)
+    STREAM = ("stream", StructureClass.SEMI_STRUCTURED)
+    WEB_LOG = ("web log", StructureClass.SEMI_STRUCTURED)
+    REVIEW = ("review", StructureClass.SEMI_STRUCTURED)
+    RESUME = ("resume", StructureClass.SEMI_STRUCTURED)
+    KEY_VALUE = ("key-value", StructureClass.STRUCTURED)
+    IMAGE = ("image", StructureClass.UNSTRUCTURED)
+
+    def __init__(self, label: str, structure: StructureClass) -> None:
+        self.label = label
+        self.structure = structure
+
+
+@dataclass
+class DataSet:
+    """An in-memory data set flowing through the benchmark framework.
+
+    ``records`` is a list whose element type depends on ``data_type``:
+
+    * TEXT — ``str`` documents,
+    * TABLE — ``tuple`` rows (with a ``schema`` entry in ``metadata``),
+    * GRAPH — ``(src, dst)`` edge tuples,
+    * STREAM — :class:`repro.datagen.stream.StreamEvent`,
+    * WEB_LOG / REVIEW — ``dict`` records,
+    * KEY_VALUE — ``(key, fields_dict)`` pairs.
+    """
+
+    name: str
+    data_type: DataType
+    records: list[Any]
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def num_records(self) -> int:
+        return len(self.records)
+
+    @property
+    def structure(self) -> StructureClass:
+        return self.data_type.structure
+
+    def estimated_bytes(self) -> int:
+        """A cheap, deterministic estimate of the serialized data volume."""
+        total = 0
+        for record in self.records:
+            total += _record_size(record)
+        return total
+
+    def head(self, count: int = 5) -> list[Any]:
+        """The first ``count`` records, for inspection and reporting."""
+        return self.records[:count]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DataSet(name={self.name!r}, type={self.data_type.label}, "
+            f"records={self.num_records})"
+        )
+
+
+def _record_size(record: Any) -> int:
+    """Estimate the serialized size of one record in bytes."""
+    if isinstance(record, np.ndarray):
+        return int(record.nbytes)
+    if isinstance(record, str):
+        return len(record)
+    if isinstance(record, bytes):
+        return len(record)
+    if isinstance(record, (int, float)):
+        return 8
+    if isinstance(record, dict):
+        return sum(_record_size(key) + _record_size(value) for key, value in record.items())
+    if isinstance(record, (tuple, list)):
+        return sum(_record_size(item) for item in record)
+    return len(str(record))
+
+
+def mix_seed(seed: int, *streams: int) -> int:
+    """Derive an independent child seed from ``seed`` and stream indexes.
+
+    Used to make partitioned generation deterministic: partition ``i`` of a
+    generator seeded with ``s`` always produces the same records, regardless
+    of how many other partitions run or in which order.
+    """
+    sequence = np.random.SeedSequence(entropy=seed, spawn_key=tuple(streams))
+    return int(sequence.generate_state(1)[0])
+
+
+class DataGenerator(ABC):
+    """Base class for all synthetic data generators (Figure 3).
+
+    Sub-classes must implement :meth:`generate_partition`; the default
+    :meth:`generate` produces a single partition covering the full volume.
+    Generators that preserve veracity additionally implement :meth:`fit`
+    and must be fitted before generating.
+    """
+
+    #: The data type this generator produces.
+    data_type: DataType = DataType.TEXT
+    #: Whether this generator learns a model from real data (veracity).
+    veracity_aware: bool = False
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._fitted = not self.veracity_aware
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def fit(self, real_data: DataSet) -> "DataGenerator":
+        """Learn a data model from a real data set (Figure 3, step 2).
+
+        Veracity-unaware generators accept the call but ignore the data.
+        """
+        self._fitted = True
+        return self
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise ModelNotFittedError(
+                f"{self.name} must be fitted on real data before generating; "
+                "call fit(real_data) first"
+            )
+
+    @abstractmethod
+    def generate_partition(
+        self, volume: int, partition: int, num_partitions: int
+    ) -> list[Any]:
+        """Generate the records for one partition of a ``volume``-sized set.
+
+        ``volume`` is the *total* requested volume (the generator divides it
+        among partitions); the unit is type-specific — documents for text,
+        rows for tables, vertices for graphs, events for streams.
+        """
+
+    def generate(self, volume: int, name: str | None = None) -> DataSet:
+        """Generate a complete synthetic data set of the requested volume."""
+        self._require_fitted()
+        if volume < 0:
+            raise GenerationError(f"volume must be non-negative, got {volume}")
+        records = self.generate_partition(volume, partition=0, num_partitions=1)
+        return self._wrap(records, name)
+
+    def generate_parallel(
+        self, volume: int, num_partitions: int, name: str | None = None
+    ) -> DataSet:
+        """Generate ``volume`` records split deterministically into partitions.
+
+        The result is identical in distribution to :meth:`generate`; the
+        point of partitioning is that each partition is independent, so a
+        velocity controller can run partitions concurrently or on multiple
+        machines (Section 3.2, step 3).
+        """
+        self._require_fitted()
+        if num_partitions <= 0:
+            raise GenerationError(
+                f"num_partitions must be positive, got {num_partitions}"
+            )
+        records: list[Any] = []
+        for partition in range(num_partitions):
+            records.extend(
+                self.generate_partition(volume, partition, num_partitions)
+            )
+        return self._wrap(records, name)
+
+    def partition_volume(self, volume: int, partition: int, num_partitions: int) -> int:
+        """The number of records partition ``partition`` must produce."""
+        base, extra = divmod(volume, num_partitions)
+        return base + (1 if partition < extra else 0)
+
+    def rng_for_partition(self, partition: int, num_partitions: int) -> np.random.Generator:
+        """A deterministic, partition-independent random generator."""
+        return np.random.default_rng(mix_seed(self.seed, num_partitions, partition))
+
+    def _wrap(self, records: list[Any], name: str | None) -> DataSet:
+        return DataSet(
+            name=name or f"{self.name.lower()}-output",
+            data_type=self.data_type,
+            records=records,
+            metadata={"generator": self.name, "seed": self.seed},
+        )
+
+
+class PurelySyntheticMixin:
+    """Marker mixin for generators whose output is independent of real data.
+
+    The paper (Section 3.2, step 1) notes purely synthetic data is accepted
+    for micro workloads (Sort/WordCount) and basic database operations.
+    """
+
+    veracity_aware = False
+
+
+def as_dataset(
+    records: Sequence[Any], data_type: DataType, name: str = "adhoc", **metadata: Any
+) -> DataSet:
+    """Convenience wrapper turning a plain record sequence into a DataSet."""
+    return DataSet(name=name, data_type=data_type, records=list(records), metadata=dict(metadata))

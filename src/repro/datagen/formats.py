@@ -1,0 +1,210 @@
+"""Format-conversion tools (Figure 3 step 4, Section 2.3).
+
+"Since the same type of data can be stored in multiple formats … big data
+benchmarks need to provide format conversion, which can transfer a data
+set into an appropriate format capable of being used as the input of a
+test running on a specific system."
+
+Every converter maps a :class:`~repro.datagen.base.DataSet` to a concrete
+input representation; engines declare which format they consume and the
+execution layer calls :func:`convert` before running a test.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.errors import FormatConversionError
+from repro.datagen.base import DataSet, DataType
+
+
+@dataclass
+class ConvertedData:
+    """The output of a format conversion: a payload plus its format name."""
+
+    format_name: str
+    payload: Any
+    source_name: str
+
+    def __len__(self) -> int:
+        try:
+            return len(self.payload)
+        except TypeError:  # pragma: no cover - defensive
+            return 0
+
+
+_CONVERTERS: dict[str, Callable[[DataSet], Any]] = {}
+
+
+def register_format(name: str) -> Callable[[Callable[[DataSet], Any]], Callable[[DataSet], Any]]:
+    """Decorator registering a converter under a format name."""
+
+    def wrap(function: Callable[[DataSet], Any]) -> Callable[[DataSet], Any]:
+        if name in _CONVERTERS:
+            raise FormatConversionError(f"format {name!r} is already registered")
+        _CONVERTERS[name] = function
+        return function
+
+    return wrap
+
+
+def available_formats() -> list[str]:
+    """All registered format names."""
+    return sorted(_CONVERTERS)
+
+
+def convert(dataset: DataSet, format_name: str) -> ConvertedData:
+    """Convert a data set to the named format."""
+    converter = _CONVERTERS.get(format_name)
+    if converter is None:
+        raise FormatConversionError(
+            f"unknown format {format_name!r}; available: {available_formats()}"
+        )
+    try:
+        payload = converter(dataset)
+    except FormatConversionError:
+        raise
+    except Exception as exc:
+        raise FormatConversionError(
+            f"converting {dataset.name!r} to {format_name!r} failed: {exc}"
+        ) from exc
+    return ConvertedData(
+        format_name=format_name, payload=payload, source_name=dataset.name
+    )
+
+
+@register_format("records")
+def _records(dataset: DataSet) -> list[Any]:
+    """The identity format: raw records."""
+    return list(dataset.records)
+
+
+@register_format("text-lines")
+def _text_lines(dataset: DataSet) -> list[str]:
+    """One line per record; structured records are tab-separated."""
+    lines: list[str] = []
+    for record in dataset.records:
+        if isinstance(record, str):
+            lines.append(record)
+        elif isinstance(record, dict):
+            lines.append("\t".join(str(value) for value in record.values()))
+        elif isinstance(record, (tuple, list)):
+            lines.append("\t".join(str(value) for value in record))
+        else:
+            lines.append(str(record))
+    return lines
+
+
+@register_format("csv")
+def _csv(dataset: DataSet) -> list[str]:
+    """Comma-separated lines with a header derived from the schema."""
+    schema = dataset.metadata.get("schema")
+    lines: list[str] = []
+    if schema is not None:
+        lines.append(",".join(schema))
+    elif dataset.records and isinstance(dataset.records[0], dict):
+        lines.append(",".join(dataset.records[0].keys()))
+    for record in dataset.records:
+        if isinstance(record, dict):
+            values = record.values()
+        elif isinstance(record, (tuple, list)):
+            values = record
+        else:
+            values = (record,)
+        lines.append(",".join(_csv_cell(value) for value in values))
+    return lines
+
+
+def _csv_cell(value: Any) -> str:
+    text = str(value)
+    if "," in text or '"' in text:
+        escaped = text.replace('"', '""')
+        return f'"{escaped}"'
+    return text
+
+
+@register_format("jsonl")
+def _jsonl(dataset: DataSet) -> list[str]:
+    """One JSON object per record (semi-structured interchange)."""
+    schema = dataset.metadata.get("schema")
+    lines: list[str] = []
+    for record in dataset.records:
+        if isinstance(record, dict):
+            obj: Any = record
+        elif isinstance(record, (tuple, list)) and schema is not None:
+            obj = dict(zip(schema, record))
+        else:
+            obj = {"value": _jsonable(record)}
+        lines.append(json.dumps(obj, default=_jsonable, sort_keys=True))
+    return lines
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(item) for item in value]
+    if hasattr(value, "__dict__"):
+        return {k: _jsonable(v) for k, v in vars(value).items()}
+    return str(value)
+
+
+@register_format("key-value")
+def _key_value(dataset: DataSet) -> list[tuple[Any, Any]]:
+    """(key, value) pairs: the input format of KV stores and MapReduce."""
+    pairs: list[tuple[Any, Any]] = []
+    for index, record in enumerate(dataset.records):
+        if isinstance(record, tuple) and len(record) == 2:
+            pairs.append(record)
+        elif isinstance(record, tuple) and len(record) > 2:
+            pairs.append((record[0], record[1:]))
+        elif isinstance(record, dict):
+            key = record.get("key", index)
+            pairs.append((key, record))
+        else:
+            pairs.append((index, record))
+    return pairs
+
+
+@register_format("adjacency-list")
+def _adjacency_list(dataset: DataSet) -> dict[int, list[int]]:
+    """vertex → neighbour list, for graph workloads."""
+    if dataset.data_type is not DataType.GRAPH:
+        raise FormatConversionError(
+            f"adjacency-list requires a graph data set, got {dataset.data_type.label}"
+        )
+    adjacency: dict[int, list[int]] = {}
+    for src, dst in dataset.records:
+        adjacency.setdefault(src, []).append(dst)
+        adjacency.setdefault(dst, []).append(src)
+    return adjacency
+
+
+@register_format("edge-list-lines")
+def _edge_list_lines(dataset: DataSet) -> list[str]:
+    """"src<TAB>dst" lines, the common on-disk graph exchange format."""
+    if dataset.data_type is not DataType.GRAPH:
+        raise FormatConversionError(
+            f"edge-list requires a graph data set, got {dataset.data_type.label}"
+        )
+    return [f"{src}\t{dst}" for src, dst in dataset.records]
+
+
+@register_format("common-log")
+def _common_log(dataset: DataSet) -> list[str]:
+    """Apache common-log-style lines for web-log data sets."""
+    if dataset.data_type is not DataType.WEB_LOG:
+        raise FormatConversionError(
+            f"common-log requires a web-log data set, got {dataset.data_type.label}"
+        )
+    lines = []
+    for record in dataset.records:
+        lines.append(
+            f'{record["customer_id"]} - - [{record["timestamp"]:.3f}] '
+            f'"{record["method"]} {record["path"]}" {record["status"]} '
+            f'{record["bytes"]} "{record["user_agent"]}"'
+        )
+    return lines

@@ -1,0 +1,237 @@
+"""Stream data generation.
+
+Section 2.1 of the paper gives data velocity a third meaning for streaming
+systems: events arrive continuously and must be processed at their arrival
+speed.  This module generates timestamped event streams with controllable
+arrival processes:
+
+* :class:`PoissonArrivals` — memoryless arrivals at a fixed rate;
+* :class:`BurstyArrivals` — a two-state modulated process (quiet/burst),
+  modelling the bursty traffic of real services;
+* :class:`UniformArrivals` — fixed inter-arrival gaps (a paced source);
+* :class:`EmpiricalArrivals` — bootstrap-resamples the inter-arrival gaps
+  of a real stream (the veracity-preserving option).
+
+:class:`StreamGenerator` combines an arrival process with a key
+distribution and an operation mix (insert/update/delete) — the *update
+frequency* facet of velocity that Section 5.1 says existing benchmarks
+ignore.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import GenerationError
+from repro.datagen.base import DataGenerator, DataSet, DataType
+
+
+class EventKind(enum.Enum):
+    """The kind of state change an event carries."""
+
+    INSERT = "insert"
+    UPDATE = "update"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One timestamped event in a data stream."""
+
+    timestamp: float
+    key: int
+    value: float
+    kind: EventKind = EventKind.INSERT
+
+
+class ArrivalProcess(ABC):
+    """Produces inter-arrival gaps (seconds) between consecutive events."""
+
+    @abstractmethod
+    def gaps(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Draw ``count`` inter-arrival gaps."""
+
+    def timestamps(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Cumulative event timestamps starting from the first gap."""
+        if count <= 0:
+            return np.zeros(0)
+        return np.cumsum(self.gaps(rng, count))
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Exponential inter-arrival gaps at ``rate`` events/second."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise GenerationError(f"rate must be positive, got {self.rate}")
+
+    def gaps(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        return rng.exponential(1.0 / self.rate, size=count)
+
+
+@dataclass(frozen=True)
+class UniformArrivals(ArrivalProcess):
+    """Constant inter-arrival gaps (a perfectly paced source)."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise GenerationError(f"rate must be positive, got {self.rate}")
+
+    def gaps(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        return np.full(count, 1.0 / self.rate)
+
+
+@dataclass(frozen=True)
+class BurstyArrivals(ArrivalProcess):
+    """Two-state Markov-modulated Poisson process (quiet ↔ burst).
+
+    The process alternates between a quiet state emitting at ``low_rate``
+    and a burst state emitting at ``high_rate``; after each event it
+    switches state with probability ``switch_probability``.
+    """
+
+    low_rate: float
+    high_rate: float
+    switch_probability: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.low_rate <= 0 or self.high_rate <= 0:
+            raise GenerationError("rates must be positive")
+        if not 0.0 < self.switch_probability <= 1.0:
+            raise GenerationError(
+                f"switch_probability must be in (0, 1], got {self.switch_probability}"
+            )
+
+    def gaps(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        gaps = np.empty(count)
+        bursting = False
+        for index in range(count):
+            rate = self.high_rate if bursting else self.low_rate
+            gaps[index] = rng.exponential(1.0 / rate)
+            if rng.random() < self.switch_probability:
+                bursting = not bursting
+        return gaps
+
+
+class EmpiricalArrivals(ArrivalProcess):
+    """Bootstrap-resamples the inter-arrival gaps of a real stream."""
+
+    def __init__(self, real_timestamps: Sequence[float]) -> None:
+        ordered = np.sort(np.asarray(real_timestamps, dtype=np.float64))
+        gaps = np.diff(ordered)
+        gaps = gaps[gaps > 0]
+        if len(gaps) == 0:
+            raise GenerationError(
+                "need at least two distinct timestamps to learn arrivals"
+            )
+        self._gaps = gaps
+
+    def gaps(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        return rng.choice(self._gaps, size=count, replace=True)
+
+
+class StreamGenerator(DataGenerator):
+    """Generates timestamped event streams with a controllable update mix.
+
+    ``update_fraction`` and ``delete_fraction`` control the *data updating
+    frequency* (Section 2.1's second meaning of velocity); keys are
+    Zipf-skewed over ``key_space`` so updates concentrate on hot keys.
+    """
+
+    data_type = DataType.STREAM
+
+    def __init__(
+        self,
+        arrivals: ArrivalProcess | None = None,
+        key_space: int = 1000,
+        key_skew: float = 1.3,
+        update_fraction: float = 0.0,
+        delete_fraction: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(seed=seed)
+        self.arrivals = arrivals or PoissonArrivals(rate=1000.0)
+        if key_space <= 0:
+            raise GenerationError(f"key_space must be positive, got {key_space}")
+        if update_fraction < 0 or delete_fraction < 0:
+            raise GenerationError("fractions must be non-negative")
+        if update_fraction + delete_fraction > 1.0:
+            raise GenerationError(
+                "update_fraction + delete_fraction must not exceed 1.0"
+            )
+        self.key_space = key_space
+        self.key_skew = key_skew
+        self.update_fraction = update_fraction
+        self.delete_fraction = delete_fraction
+
+    def fit(self, real_data: DataSet) -> "StreamGenerator":
+        """Learn the arrival process and update mix from a real stream."""
+        events = list(real_data.records)
+        if len(events) < 2:
+            raise GenerationError("need at least two events to fit a stream model")
+        timestamps = [event.timestamp for event in events]
+        self.arrivals = EmpiricalArrivals(timestamps)
+        kinds = [event.kind for event in events]
+        total = len(kinds)
+        self.update_fraction = kinds.count(EventKind.UPDATE) / total
+        self.delete_fraction = kinds.count(EventKind.DELETE) / total
+        keys = {event.key for event in events}
+        self.key_space = max(keys) + 1 if keys else 1
+        self._fitted = True
+        return self
+
+    def generate_partition(
+        self, volume: int, partition: int, num_partitions: int
+    ) -> list[StreamEvent]:
+        count = self.partition_volume(volume, partition, num_partitions)
+        if count == 0:
+            return []
+        rng = self.rng_for_partition(partition, num_partitions)
+        timestamps = self.arrivals.timestamps(rng, count)
+        if self.key_skew > 1.0:
+            keys = np.minimum(
+                rng.zipf(self.key_skew, size=count) - 1, self.key_space - 1
+            )
+        else:
+            keys = rng.integers(0, self.key_space, size=count)
+        values = rng.normal(0.0, 1.0, size=count)
+        kind_draws = rng.random(count)
+        events: list[StreamEvent] = []
+        for index in range(count):
+            draw = kind_draws[index]
+            if draw < self.update_fraction:
+                kind = EventKind.UPDATE
+            elif draw < self.update_fraction + self.delete_fraction:
+                kind = EventKind.DELETE
+            else:
+                kind = EventKind.INSERT
+            events.append(
+                StreamEvent(
+                    timestamp=float(timestamps[index]),
+                    key=int(keys[index]),
+                    value=float(values[index]),
+                    kind=kind,
+                )
+            )
+        return events
+
+    def measured_rate(self, events: Sequence[StreamEvent]) -> float:
+        """Events per second implied by a generated stream's timestamps."""
+        if len(events) < 2:
+            raise GenerationError("need at least two events to measure a rate")
+        span = max(event.timestamp for event in events) - min(
+            event.timestamp for event in events
+        )
+        if span <= 0:
+            raise GenerationError("stream timestamps have no extent")
+        return (len(events) - 1) / span

@@ -1,0 +1,250 @@
+"""Velocity control for data generation.
+
+Section 2.1 gives data velocity three meanings — generation rate,
+updating frequency, and processing speed — and Section 5.1 demands *fully
+controllable* velocity via two mechanisms: the number of parallel
+generators, and the efficiency of the generation algorithm itself.  This
+module implements the controller side:
+
+* :class:`ParallelGenerationController` runs a generator's partitions
+  serially or on a thread pool, measures per-partition times, and reports
+  both the wall-clock rate and the *simulated distributed* rate (the rate
+  N independent machines would achieve, i.e. ``volume / max(partition
+  times)``) — the honest way to show the ×N velocity shape on a single
+  host;
+* :class:`UpdateScheduler` plans and applies update events to an existing
+  data set at a target updating frequency;
+* :class:`PacedStream` replays events no faster than a target rate against
+  a real or virtual clock (processing-speed experiments).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterator, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.errors import GenerationError
+from repro.datagen.base import DataGenerator, DataSet, mix_seed
+from repro.datagen.stream import EventKind, StreamEvent
+
+
+@dataclass
+class VelocityReport:
+    """Timing evidence from one controlled generation run."""
+
+    volume: int
+    num_partitions: int
+    partition_seconds: list[float] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def serial_seconds(self) -> float:
+        """Total work: what one machine doing everything would take."""
+        return sum(self.partition_seconds)
+
+    @property
+    def simulated_parallel_seconds(self) -> float:
+        """Makespan on N independent machines (the slowest partition)."""
+        return max(self.partition_seconds) if self.partition_seconds else 0.0
+
+    @property
+    def wall_rate(self) -> float:
+        """Records/second actually observed on this host."""
+        return self.volume / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def simulated_rate(self) -> float:
+        """Records/second N distributed generators would achieve."""
+        makespan = self.simulated_parallel_seconds
+        return self.volume / makespan if makespan > 0 else 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Simulated distributed speedup over serial generation."""
+        makespan = self.simulated_parallel_seconds
+        return self.serial_seconds / makespan if makespan > 0 else 0.0
+
+
+class ParallelGenerationController:
+    """Runs partitioned generation and measures the achieved velocity.
+
+    This is mechanism 1 of Section 5.1: data velocity controlled "by
+    deploying different numbers of parallel data generators".
+    """
+
+    def __init__(
+        self,
+        generator: DataGenerator,
+        num_partitions: int = 1,
+        use_threads: bool = False,
+    ) -> None:
+        if num_partitions <= 0:
+            raise GenerationError(
+                f"num_partitions must be positive, got {num_partitions}"
+            )
+        self.generator = generator
+        self.num_partitions = num_partitions
+        self.use_threads = use_threads
+
+    def run(self, volume: int, name: str | None = None) -> tuple[DataSet, VelocityReport]:
+        """Generate ``volume`` records across the configured partitions."""
+        report = VelocityReport(volume=volume, num_partitions=self.num_partitions)
+        wall_start = time.perf_counter()
+
+        def produce(partition: int) -> tuple[list[Any], float]:
+            start = time.perf_counter()
+            records = self.generator.generate_partition(
+                volume, partition, self.num_partitions
+            )
+            return records, time.perf_counter() - start
+
+        if self.use_threads and self.num_partitions > 1:
+            with ThreadPoolExecutor(max_workers=self.num_partitions) as pool:
+                outcomes = list(pool.map(produce, range(self.num_partitions)))
+        else:
+            outcomes = [produce(p) for p in range(self.num_partitions)]
+
+        report.wall_seconds = time.perf_counter() - wall_start
+        records: list[Any] = []
+        for partition_records, seconds in outcomes:
+            records.extend(partition_records)
+            report.partition_seconds.append(seconds)
+        dataset = DataSet(
+            name=name or f"{self.generator.name.lower()}-parallel",
+            data_type=self.generator.data_type,
+            records=records,
+            metadata={
+                "generator": self.generator.name,
+                "num_partitions": self.num_partitions,
+            },
+        )
+        return dataset, report
+
+
+class UpdateScheduler:
+    """Plans update events against an existing data set at a target frequency.
+
+    This is the "data updating frequency" facet of velocity that Table 1
+    of the paper says existing benchmarks do not consider.
+    """
+
+    def __init__(
+        self,
+        updates_per_second: float,
+        update_fraction: float = 0.8,
+        delete_fraction: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        if updates_per_second <= 0:
+            raise GenerationError(
+                f"updates_per_second must be positive, got {updates_per_second}"
+            )
+        if update_fraction < 0 or delete_fraction < 0:
+            raise GenerationError("fractions must be non-negative")
+        if update_fraction + delete_fraction > 1.0:
+            raise GenerationError("update + delete fractions must not exceed 1.0")
+        self.updates_per_second = updates_per_second
+        self.update_fraction = update_fraction
+        self.delete_fraction = delete_fraction
+        self.seed = seed
+
+    def plan(self, duration_seconds: float, key_space: int) -> list[StreamEvent]:
+        """Plan the update events for a window of ``duration_seconds``."""
+        if duration_seconds <= 0:
+            raise GenerationError("duration must be positive")
+        if key_space <= 0:
+            raise GenerationError("key_space must be positive")
+        rng = np.random.default_rng(mix_seed(self.seed, key_space))
+        count = int(round(self.updates_per_second * duration_seconds))
+        timestamps = np.sort(rng.uniform(0.0, duration_seconds, size=count))
+        keys = rng.integers(0, key_space, size=count)
+        values = rng.normal(0.0, 1.0, size=count)
+        draws = rng.random(count)
+        events = []
+        for index in range(count):
+            if draws[index] < self.update_fraction:
+                kind = EventKind.UPDATE
+            elif draws[index] < self.update_fraction + self.delete_fraction:
+                kind = EventKind.DELETE
+            else:
+                kind = EventKind.INSERT
+            events.append(
+                StreamEvent(
+                    timestamp=float(timestamps[index]),
+                    key=int(keys[index]),
+                    value=float(values[index]),
+                    kind=kind,
+                )
+            )
+        return events
+
+    @staticmethod
+    def apply(state: dict[int, float], events: Sequence[StreamEvent]) -> dict[str, int]:
+        """Apply planned events to a key→value state; returns op counts."""
+        counts = {"insert": 0, "update": 0, "delete": 0}
+        for event in events:
+            if event.kind is EventKind.DELETE:
+                state.pop(event.key, None)
+                counts["delete"] += 1
+            elif event.kind is EventKind.UPDATE:
+                if event.key in state:
+                    state[event.key] = event.value
+                    counts["update"] += 1
+                else:
+                    state[event.key] = event.value
+                    counts["insert"] += 1
+            else:
+                state[event.key] = event.value
+                counts["insert"] += 1
+        return counts
+
+
+class PacedStream:
+    """Replays events no faster than a target rate.
+
+    With ``real_time=False`` (the default for tests and benchmarks) the
+    pacing is tracked against a virtual clock, so replay is instantaneous
+    but the delivery timestamps are exactly what a real-time replay would
+    produce.
+    """
+
+    def __init__(
+        self,
+        events: Sequence[StreamEvent],
+        target_rate: float,
+        real_time: bool = False,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if target_rate <= 0:
+            raise GenerationError(f"target_rate must be positive, got {target_rate}")
+        self.events = list(events)
+        self.target_rate = target_rate
+        self.real_time = real_time
+        self._sleep = sleep
+
+    def __iter__(self) -> Iterator[tuple[float, StreamEvent]]:
+        """Yield (delivery_time, event) pairs under the pacing constraint."""
+        interval = 1.0 / self.target_rate
+        virtual_clock = 0.0
+        for index, event in enumerate(self.events):
+            earliest = index * interval
+            delivery = max(event.timestamp, earliest)
+            if self.real_time and delivery > virtual_clock:
+                self._sleep(delivery - virtual_clock)
+            virtual_clock = delivery
+            yield delivery, event
+
+    def delivered_rate(self) -> float:
+        """The average delivery rate after pacing (events/second)."""
+        deliveries = [delivery for delivery, _ in self]
+        if len(deliveries) < 2:
+            raise GenerationError("need at least two events to measure a rate")
+        span = deliveries[-1] - deliveries[0]
+        if span <= 0:
+            raise GenerationError("paced deliveries have no extent")
+        return (len(deliveries) - 1) / span

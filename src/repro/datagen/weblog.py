@@ -1,0 +1,177 @@
+"""Semi-structured data generation: web logs and product reviews.
+
+The paper (Section 4.1) describes BigBench's approach: "web logs and
+reviews are generated on the basis of the table data, hence [their]
+veracity relies on the table data".  This module implements that chaining:
+both generators take already-generated (or real) customer and product
+tables, so every log line and review references an entity that actually
+exists in the structured data.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.errors import GenerationError
+from repro.datagen.base import DataGenerator, DataSet, DataType
+from repro.datagen.corpus import (
+    HTTP_METHODS,
+    STATUS_CODES,
+    USER_AGENTS,
+    WEB_PATHS,
+)
+
+
+def _key_column(dataset: DataSet, column_suffix: str) -> list[Any]:
+    """Extract the id column (``*_id``) from a table data set."""
+    schema = dataset.metadata.get("schema")
+    if schema is None:
+        raise GenerationError(
+            f"table {dataset.name!r} has no schema metadata; cannot chain veracity"
+        )
+    try:
+        index = [name.endswith(column_suffix) for name in schema].index(True)
+    except ValueError:
+        raise GenerationError(
+            f"table {dataset.name!r} has no column ending in {column_suffix!r}"
+        ) from None
+    return [row[index] for row in dataset.records]
+
+
+class WebLogGenerator(DataGenerator):
+    """Generates click-stream web logs referencing real table entities.
+
+    Veracity is *chained* from the table data (the BigBench design): each
+    log record's customer and product ids are drawn from the supplied
+    tables, with Zipf skew so a few customers/products dominate traffic.
+    """
+
+    data_type = DataType.WEB_LOG
+    veracity_aware = True
+
+    def __init__(
+        self,
+        customers: DataSet,
+        products: DataSet,
+        requests_per_second: float = 200.0,
+        skew: float = 1.3,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(seed=seed)
+        if requests_per_second <= 0:
+            raise GenerationError(
+                f"requests_per_second must be positive, got {requests_per_second}"
+            )
+        self._customer_ids = _key_column(customers, "customer_id")
+        self._product_ids = _key_column(products, "product_id")
+        if not self._customer_ids or not self._product_ids:
+            raise GenerationError("customer and product tables must be non-empty")
+        self.requests_per_second = requests_per_second
+        self.skew = skew
+        self._fitted = True  # veracity comes from the tables at construction
+
+    def _pick_skewed(
+        self, rng: np.random.Generator, population: list[Any], count: int
+    ) -> list[Any]:
+        if self.skew > 1.0:
+            ranks = np.minimum(rng.zipf(self.skew, size=count) - 1, len(population) - 1)
+        else:
+            ranks = rng.integers(0, len(population), size=count)
+        return [population[int(rank)] for rank in ranks]
+
+    def generate_partition(
+        self, volume: int, partition: int, num_partitions: int
+    ) -> list[dict[str, Any]]:
+        count = self.partition_volume(volume, partition, num_partitions)
+        if count == 0:
+            return []
+        rng = self.rng_for_partition(partition, num_partitions)
+        timestamps = np.cumsum(
+            rng.exponential(1.0 / self.requests_per_second, size=count)
+        )
+        customers = self._pick_skewed(rng, self._customer_ids, count)
+        products = self._pick_skewed(rng, self._product_ids, count)
+        records: list[dict[str, Any]] = []
+        for index in range(count):
+            path = WEB_PATHS[int(rng.integers(len(WEB_PATHS)))]
+            if path == "/product":
+                path = f"/product/{products[index]}"
+            records.append(
+                {
+                    "timestamp": float(timestamps[index]),
+                    "customer_id": customers[index],
+                    "method": HTTP_METHODS[int(rng.integers(len(HTTP_METHODS)))],
+                    "path": path,
+                    "status": STATUS_CODES[int(rng.integers(len(STATUS_CODES)))],
+                    "bytes": int(rng.lognormal(7.0, 1.0)),
+                    "user_agent": USER_AGENTS[int(rng.integers(len(USER_AGENTS)))],
+                }
+            )
+        return records
+
+
+class ReviewGenerator(DataGenerator):
+    """Generates product reviews: table references plus model-generated text.
+
+    Review text comes from a fitted text generator (normally the LDA
+    generator), so text veracity is preserved while the structured fields
+    chain to the table data — reviews are the paper's example of
+    semi-structured data containing both text and references.
+    """
+
+    data_type = DataType.REVIEW
+    veracity_aware = True
+
+    RATING_WEIGHTS = (0.06, 0.07, 0.12, 0.30, 0.45)  # skew towards 4-5 stars
+
+    def __init__(
+        self,
+        customers: DataSet,
+        products: DataSet,
+        text_generator: DataGenerator,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(seed=seed)
+        self._customer_ids = _key_column(customers, "customer_id")
+        self._product_ids = _key_column(products, "product_id")
+        if not self._customer_ids or not self._product_ids:
+            raise GenerationError("customer and product tables must be non-empty")
+        if not text_generator.is_fitted:
+            raise GenerationError(
+                "the review text generator must be fitted before use"
+            )
+        self.text_generator = text_generator
+        self._fitted = True
+
+    def generate_partition(
+        self, volume: int, partition: int, num_partitions: int
+    ) -> list[dict[str, Any]]:
+        count = self.partition_volume(volume, partition, num_partitions)
+        if count == 0:
+            return []
+        rng = self.rng_for_partition(partition, num_partitions)
+        texts = self.text_generator.generate_partition(
+            volume, partition, num_partitions
+        )
+        ratings = rng.choice(
+            (1, 2, 3, 4, 5), size=count, p=np.asarray(self.RATING_WEIGHTS)
+        )
+        customer_ranks = rng.integers(0, len(self._customer_ids), size=count)
+        product_ranks = np.minimum(
+            rng.zipf(1.3, size=count) - 1, len(self._product_ids) - 1
+        )
+        start = sum(
+            self.partition_volume(volume, p, num_partitions) for p in range(partition)
+        )
+        return [
+            {
+                "review_id": start + index,
+                "customer_id": self._customer_ids[int(customer_ranks[index])],
+                "product_id": self._product_ids[int(product_ranks[index])],
+                "rating": int(ratings[index]),
+                "text": texts[index],
+            }
+            for index in range(count)
+        ]

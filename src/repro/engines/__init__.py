@@ -1,0 +1,27 @@
+"""Execution substrates: the systems the benchmark framework runs tests on.
+
+Each sub-package is a from-scratch implementation of one system class the
+paper's surveyed benchmarks target (DESIGN.md §2 documents the
+substitutions):
+
+* :mod:`repro.engines.mapreduce` — Hadoop-like MapReduce runtime,
+* :mod:`repro.engines.dbms` — relational DBMS,
+* :mod:`repro.engines.nosql` — partitioned key-value store (YCSB target),
+* :mod:`repro.engines.streaming` — stream processor.
+"""
+
+from repro.engines.base import (
+    CostCounters,
+    Engine,
+    EngineInfo,
+    SimulatedClusterSpec,
+    schedule_lpt,
+)
+
+__all__ = [
+    "CostCounters",
+    "Engine",
+    "EngineInfo",
+    "SimulatedClusterSpec",
+    "schedule_lpt",
+]

@@ -1,0 +1,31 @@
+"""A from-scratch relational engine (the parallel-DBMS substitute)."""
+
+from repro.engines.dbms.catalog import Catalog, TableStats
+from repro.engines.dbms.engine import DbmsEngine, QueryResult
+from repro.engines.dbms.expressions import col, lit
+from repro.engines.dbms.planner import (
+    JoinSpec,
+    Planner,
+    PlannerConfig,
+    Query,
+    QueryBuilder,
+)
+from repro.engines.dbms.plans import Aggregate
+from repro.engines.dbms.storage import HeapTable, SortedIndex
+
+__all__ = [
+    "Aggregate",
+    "Catalog",
+    "DbmsEngine",
+    "HeapTable",
+    "JoinSpec",
+    "Planner",
+    "PlannerConfig",
+    "Query",
+    "QueryBuilder",
+    "QueryResult",
+    "SortedIndex",
+    "TableStats",
+    "col",
+    "lit",
+]

@@ -1,0 +1,273 @@
+"""Logical queries and the rule-based planner.
+
+A :class:`Query` is the logical description (what BigBench/TPC-DS style
+relational workloads construct); the planner turns it into a physical
+operator tree, applying:
+
+* **predicate pushdown** — single-table conjuncts move below the joins;
+* **access-path selection** — an equality conjunct on an indexed column
+  becomes an IndexScan;
+* **join-algorithm selection** — hash join for large inputs, nested-loop
+  for tiny inners, overridable for the planner ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from repro.core.errors import EngineError
+from repro.engines.base import CostCounters
+from repro.engines.dbms.catalog import Catalog
+from repro.engines.dbms.expressions import (
+    Comparison,
+    Expression,
+    col,
+    conjoin,
+    split_conjuncts,
+)
+from repro.engines.dbms.plans import (
+    Aggregate,
+    Filter,
+    HashAggregate,
+    HashJoin,
+    IndexScan,
+    Limit,
+    MergeJoin,
+    NestedLoopJoin,
+    PhysicalOperator,
+    Project,
+    SeqScan,
+    Sort,
+)
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """One equi-join step: join ``table`` on left_column = right_column."""
+
+    table: str
+    left_column: str
+    right_column: str
+
+
+@dataclass
+class Query:
+    """A logical query over the catalog."""
+
+    table: str
+    joins: list[JoinSpec] = field(default_factory=list)
+    predicate: Expression | None = None
+    group_by: list[str] = field(default_factory=list)
+    aggregates: list[Aggregate] = field(default_factory=list)
+    projection: list[tuple[str, Expression]] = field(default_factory=list)
+    order_by: list[tuple[str, bool]] = field(default_factory=list)
+    limit: int | None = None
+
+
+@dataclass
+class PlannerConfig:
+    """Planner knobs (the ablation benchmark sweeps these)."""
+
+    #: hash | nested_loop | merge | auto
+    join_algorithm: str = "auto"
+    #: Use index scans when an equality conjunct matches an index.
+    use_indexes: bool = True
+    #: Push single-table conjuncts below joins.
+    predicate_pushdown: bool = True
+    #: Inner inputs up to this many rows use nested-loop under "auto".
+    nested_loop_threshold: int = 64
+
+    def __post_init__(self) -> None:
+        valid = ("hash", "nested_loop", "merge", "auto")
+        if self.join_algorithm not in valid:
+            raise EngineError(
+                f"join_algorithm must be one of {valid}, got "
+                f"{self.join_algorithm!r}"
+            )
+
+
+class Planner:
+    """Turns logical queries into physical operator trees."""
+
+    def __init__(self, catalog: Catalog, config: PlannerConfig | None = None) -> None:
+        self.catalog = catalog
+        self.config = config or PlannerConfig()
+
+    def plan(self, query: Query, cost: CostCounters) -> PhysicalOperator:
+        """Build the physical plan for ``query``, charging work to ``cost``."""
+        conjuncts = split_conjuncts(query.predicate)
+        operator, remaining = self._plan_scan(query.table, conjuncts, cost)
+
+        for join in query.joins:
+            inner, remaining = self._plan_scan(join.table, remaining, cost)
+            operator = self._plan_join(operator, inner, join, cost)
+
+        leftover = [
+            conjunct
+            for conjunct in remaining
+            if conjunct.columns() <= set(operator.schema)
+        ]
+        unplaceable = [c for c in remaining if c not in leftover]
+        if unplaceable:
+            raise EngineError(
+                f"predicate references unknown columns: "
+                f"{sorted(set().union(*(c.columns() for c in unplaceable)))}"
+            )
+        residual = conjoin(leftover)
+        if residual is not None:
+            operator = Filter(operator, residual, cost)
+
+        if query.group_by or query.aggregates:
+            operator = HashAggregate(
+                operator, query.group_by, query.aggregates, cost
+            )
+        if query.projection:
+            operator = Project(operator, query.projection, cost)
+        if query.order_by:
+            operator = Sort(operator, query.order_by, cost)
+        if query.limit is not None:
+            operator = Limit(operator, query.limit, cost)
+        return operator
+
+    # ------------------------------------------------------------------
+
+    def _plan_scan(
+        self, table_name: str, conjuncts: list[Expression], cost: CostCounters
+    ) -> tuple[PhysicalOperator, list[Expression]]:
+        """Choose the access path for one table and push its conjuncts."""
+        table = self.catalog.table(table_name)
+        table_columns = set(table.schema)
+        if self.config.predicate_pushdown:
+            local = [c for c in conjuncts if c.columns() <= table_columns]
+            remaining = [c for c in conjuncts if c not in local]
+        else:
+            local, remaining = [], list(conjuncts)
+
+        operator: PhysicalOperator | None = None
+        if self.config.use_indexes:
+            for conjunct in local:
+                if (
+                    isinstance(conjunct, Comparison)
+                    and conjunct.is_equality_on_column
+                    and table.has_index(conjunct.left.name)  # type: ignore[union-attr]
+                ):
+                    operator = IndexScan(
+                        table,
+                        conjunct.left.name,  # type: ignore[union-attr]
+                        cost,
+                        value=conjunct.right.value,  # type: ignore[union-attr]
+                    )
+                    local = [c for c in local if c is not conjunct]
+                    break
+        if operator is None:
+            operator = SeqScan(table, cost)
+        residual = conjoin(local)
+        if residual is not None:
+            operator = Filter(operator, residual, cost)
+        return operator, remaining
+
+    def _plan_join(
+        self,
+        outer: PhysicalOperator,
+        inner: PhysicalOperator,
+        join: JoinSpec,
+        cost: CostCounters,
+    ) -> PhysicalOperator:
+        """Pick the join algorithm per configuration and statistics."""
+        if join.left_column not in outer.schema:
+            raise EngineError(
+                f"join column {join.left_column!r} not in left schema "
+                f"{outer.schema}"
+            )
+        if join.right_column not in inner.schema:
+            raise EngineError(
+                f"join column {join.right_column!r} not in right schema "
+                f"{inner.schema}"
+            )
+        algorithm = self.config.join_algorithm
+        if algorithm == "auto":
+            inner_rows = self._estimate_rows(inner)
+            algorithm = (
+                "nested_loop"
+                if inner_rows <= self.config.nested_loop_threshold
+                else "hash"
+            )
+        if algorithm == "hash":
+            return HashJoin(outer, inner, join.left_column, join.right_column, cost)
+        if algorithm == "merge":
+            return MergeJoin(outer, inner, join.left_column, join.right_column, cost)
+        return NestedLoopJoin(outer, inner, join.left_column, join.right_column, cost)
+
+    def _estimate_rows(self, operator: PhysicalOperator) -> int:
+        """Cardinality estimate from catalog statistics (scans only)."""
+        if isinstance(operator, SeqScan):
+            return len(operator.table)
+        if isinstance(operator, IndexScan):
+            # Equality on an index: assume high selectivity.
+            return max(1, len(operator.table) // 100)
+        if isinstance(operator, Filter):
+            return max(1, self._estimate_rows(operator.child) // 3)
+        return 1 << 30  # unknown: assume large
+
+    def query(self, table: str) -> "QueryBuilder":
+        """Start a fluent query against this planner's catalog."""
+        return QueryBuilder(table)
+
+
+class QueryBuilder:
+    """Fluent construction of :class:`Query` objects.
+
+    Example::
+
+        query = (QueryBuilder("orders")
+                 .join("products", "product_id", "product_id")
+                 .where(col("quantity") >= lit(2))
+                 .group_by("category")
+                 .aggregate("sum", "quantity", "total")
+                 .build())
+    """
+
+    def __init__(self, table: str) -> None:
+        self._query = Query(table=table)
+
+    def join(
+        self, table: str, left_column: str, right_column: str
+    ) -> "QueryBuilder":
+        self._query.joins.append(JoinSpec(table, left_column, right_column))
+        return self
+
+    def where(self, predicate: Expression) -> "QueryBuilder":
+        if self._query.predicate is None:
+            self._query.predicate = predicate
+        else:
+            self._query.predicate = self._query.predicate & predicate
+        return self
+
+    def group_by(self, *columns: str) -> "QueryBuilder":
+        self._query.group_by.extend(columns)
+        return self
+
+    def aggregate(
+        self, function: str, column: str | None = None, alias: str | None = None
+    ) -> "QueryBuilder":
+        name = alias or (f"{function}_{column}" if column else function)
+        self._query.aggregates.append(Aggregate(function, column, name))
+        return self
+
+    def select(self, *columns: str | tuple[str, Expression]) -> "QueryBuilder":
+        for entry in columns:
+            if isinstance(entry, str):
+                self._query.projection.append((entry, col(entry)))
+            else:
+                self._query.projection.append(entry)
+        return self
+
+    def order_by(self, column: str, descending: bool = False) -> "QueryBuilder":
+        self._query.order_by.append((column, descending))
+        return self
+
+    def limit(self, count: int) -> "QueryBuilder":
+        self._query.limit = count
+        return self
+
+    def build(self) -> Query:
+        return self._query

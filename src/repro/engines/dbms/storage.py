@@ -1,0 +1,229 @@
+"""Storage layer of the relational engine: heap tables and indexes."""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Any
+
+from repro.core.errors import EngineError
+
+Row = tuple
+
+
+class SortedIndex:
+    """A secondary index: sorted (value, row_id) entries with binary search.
+
+    The pure-Python stand-in for a B-tree — O(log n) point lookups and
+    ordered range scans, which is all the planner needs to make realistic
+    index-vs-scan decisions.  Entries are kept as ``(type_rank, value,
+    row_id)`` so mixed-type columns (ints and strings) stay totally
+    ordered.
+    """
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+        self._entries: list[tuple[int, Any, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def build(self, values: Iterable[tuple[Any, int]]) -> None:
+        """Bulk-build from (value, row_id) pairs."""
+        self._entries = sorted(
+            (_type_rank(value), value, row_id) for value, row_id in values
+        )
+
+    def insert(self, value: Any, row_id: int) -> None:
+        bisect.insort(self._entries, (_type_rank(value), value, row_id))
+
+    def remove(self, value: Any, row_id: int) -> None:
+        position = bisect.bisect_left(
+            self._entries, (_type_rank(value), value, row_id)
+        )
+        if (
+            position < len(self._entries)
+            and self._entries[position] == (_type_rank(value), value, row_id)
+        ):
+            del self._entries[position]
+
+    def lookup(self, value: Any) -> list[int]:
+        """Row ids whose indexed value equals ``value``."""
+        rank = _type_rank(value)
+        start = bisect.bisect_left(self._entries, (rank, value, -1))
+        row_ids: list[int] = []
+        for position in range(start, len(self._entries)):
+            entry_rank, entry_value, row_id = self._entries[position]
+            if (entry_rank, entry_value) != (rank, value):
+                break
+            row_ids.append(row_id)
+        return row_ids
+
+    def range_scan(self, low: Any = None, high: Any = None) -> list[int]:
+        """Row ids with low <= value <= high (either bound optional)."""
+        start = 0
+        if low is not None:
+            start = bisect.bisect_left(self._entries, (_type_rank(low), low, -1))
+        end = len(self._entries)
+        if high is not None:
+            end = bisect.bisect_right(
+                self._entries, (_type_rank(high), high, float("inf"))
+            )
+        return [row_id for _, _, row_id in self._entries[start:end]]
+
+
+def _type_rank(value: Any) -> int:
+    """Keep heterogenous index keys sortable (numbers before strings)."""
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float)):
+        return 0
+    return 1
+
+
+class HeapTable:
+    """An append-oriented in-memory table with optional secondary indexes.
+
+    Deleted rows are tombstoned (set to ``None``) so row ids stay stable
+    for the indexes; :meth:`compact` rebuilds storage when fragmentation
+    grows.
+    """
+
+    def __init__(self, name: str, schema: Sequence[str]) -> None:
+        if not schema:
+            raise EngineError(f"table {name!r} needs at least one column")
+        if len(set(schema)) != len(schema):
+            raise EngineError(f"table {name!r} has duplicate column names")
+        self.name = name
+        self.schema = tuple(schema)
+        self._layout = {column: index for index, column in enumerate(self.schema)}
+        self._rows: list[Row | None] = []
+        self._live_count = 0
+        self.indexes: dict[str, SortedIndex] = {}
+
+    # ------------------------------------------------------------------
+    # Schema helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def layout(self) -> dict[str, int]:
+        return dict(self._layout)
+
+    def column_position(self, column: str) -> int:
+        try:
+            return self._layout[column]
+        except KeyError:
+            raise EngineError(
+                f"table {self.name!r} has no column {column!r}; "
+                f"columns: {self.schema}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert(self, row: Sequence[Any]) -> int:
+        """Append one row; returns its row id."""
+        if len(row) != len(self.schema):
+            raise EngineError(
+                f"table {self.name!r} expects {len(self.schema)} values, "
+                f"got {len(row)}"
+            )
+        row_tuple = tuple(row)
+        row_id = len(self._rows)
+        self._rows.append(row_tuple)
+        self._live_count += 1
+        for column, index in self.indexes.items():
+            index.insert(row_tuple[self._layout[column]], row_id)
+        return row_id
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Bulk insert; returns the number of rows inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def delete_row(self, row_id: int) -> None:
+        row = self._row_or_raise(row_id)
+        for column, index in self.indexes.items():
+            index.remove(row[self._layout[column]], row_id)
+        self._rows[row_id] = None
+        self._live_count -= 1
+
+    def update_row(self, row_id: int, updates: dict[str, Any]) -> Row:
+        """Update columns of one row in place; returns the new row."""
+        row = list(self._row_or_raise(row_id))
+        for column, value in updates.items():
+            position = self.column_position(column)
+            old_value = row[position]
+            if column in self.indexes:
+                self.indexes[column].remove(old_value, row_id)
+                self.indexes[column].insert(value, row_id)
+            row[position] = value
+        new_row = tuple(row)
+        self._rows[row_id] = new_row
+        return new_row
+
+    def _row_or_raise(self, row_id: int) -> Row:
+        if not 0 <= row_id < len(self._rows) or self._rows[row_id] is None:
+            raise EngineError(f"table {self.name!r} has no live row {row_id}")
+        row = self._rows[row_id]
+        assert row is not None
+        return row
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def scan(self) -> Iterator[Row]:
+        """Yield every live row."""
+        for row in self._rows:
+            if row is not None:
+                yield row
+
+    def fetch(self, row_id: int) -> Row:
+        return self._row_or_raise(row_id)
+
+    def fetch_many(self, row_ids: Iterable[int]) -> list[Row]:
+        return [self._row_or_raise(row_id) for row_id in row_ids]
+
+    def __len__(self) -> int:
+        return self._live_count
+
+    # ------------------------------------------------------------------
+    # Indexing & maintenance
+    # ------------------------------------------------------------------
+
+    def create_index(self, column: str) -> SortedIndex:
+        """Build a secondary index on ``column``."""
+        if column in self.indexes:
+            raise EngineError(
+                f"table {self.name!r} already has an index on {column!r}"
+            )
+        position = self.column_position(column)
+        index = SortedIndex(column)
+        index.build(
+            (row[position], row_id)
+            for row_id, row in enumerate(self._rows)
+            if row is not None
+        )
+        self.indexes[column] = index
+        return index
+
+    def has_index(self, column: str) -> bool:
+        return column in self.indexes
+
+    def compact(self) -> int:
+        """Drop tombstones and rebuild indexes; returns reclaimed slots."""
+        reclaimed = len(self._rows) - self._live_count
+        self._rows = [row for row in self._rows if row is not None]
+        for column in list(self.indexes):
+            position = self._layout[column]
+            index = SortedIndex(column)
+            index.build(
+                (row[position], row_id) for row_id, row in enumerate(self._rows)
+            )
+            self.indexes[column] = index
+        return reclaimed

@@ -1,0 +1,17 @@
+"""A simulated distributed file system (the HDFS substitute)."""
+
+from repro.engines.dfs.filesystem import (
+    BlockLocation,
+    DataNode,
+    DfsOpReport,
+    DistributedFileSystem,
+    FileEntry,
+)
+
+__all__ = [
+    "BlockLocation",
+    "DataNode",
+    "DfsOpReport",
+    "DistributedFileSystem",
+    "FileEntry",
+]

@@ -1,0 +1,28 @@
+"""A from-scratch MapReduce engine (the Hadoop substitute, DESIGN.md §2)."""
+
+from repro.engines.mapreduce.cluster import ClusterModel, ClusterReport, PhaseTiming
+from repro.engines.mapreduce.counters import CounterGroup
+from repro.engines.mapreduce.job import (
+    JobChain,
+    JobConf,
+    MapReduceJob,
+    default_partitioner,
+    identity_mapper,
+    identity_reducer,
+)
+from repro.engines.mapreduce.runtime import JobResult, MapReduceEngine
+
+__all__ = [
+    "ClusterModel",
+    "ClusterReport",
+    "CounterGroup",
+    "JobChain",
+    "JobConf",
+    "JobResult",
+    "MapReduceEngine",
+    "MapReduceJob",
+    "PhaseTiming",
+    "default_partitioner",
+    "identity_mapper",
+    "identity_reducer",
+]

@@ -1,0 +1,99 @@
+"""MapReduce job definitions.
+
+A job is a mapper, an optional combiner, and a reducer, plus a
+configuration describing parallelism and partitioning — the same surface
+as a Hadoop job, minus the JVM.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.errors import EngineError
+
+#: A mapper takes (key, value) and yields zero or more (key, value) pairs.
+Mapper = Callable[[Any, Any], Iterable[tuple[Any, Any]]]
+#: A reducer takes (key, [values]) and yields zero or more (key, value) pairs.
+Reducer = Callable[[Any, list[Any]], Iterable[tuple[Any, Any]]]
+#: A partitioner maps (key, num_partitions) to a partition index.
+Partitioner = Callable[[Any, int], int]
+
+
+def default_partitioner(key: Any, num_partitions: int) -> int:
+    """Hash partitioning, Hadoop's default.
+
+    Uses a stable string hash so results are reproducible across runs
+    (Python's builtin ``hash`` is salted per process for strings).
+    """
+    digest = 0
+    for char in str(key):
+        digest = (digest * 31 + ord(char)) & 0x7FFFFFFF
+    return digest % num_partitions
+
+
+def identity_mapper(key: Any, value: Any) -> Iterable[tuple[Any, Any]]:
+    """Pass input pairs through unchanged."""
+    yield key, value
+
+
+def identity_reducer(key: Any, values: list[Any]) -> Iterable[tuple[Any, Any]]:
+    """Emit every grouped value unchanged."""
+    for value in values:
+        yield key, value
+
+
+@dataclass
+class JobConf:
+    """Execution configuration of one MapReduce job."""
+
+    num_map_tasks: int = 4
+    num_reduce_tasks: int = 2
+    partitioner: Partitioner = default_partitioner
+    #: Sort keys within each reduce partition (Hadoop always sorts; this
+    #: can be disabled for speed in workloads that only need grouping).
+    sort_keys: bool = True
+    #: Secondary sort on values within each key group.
+    sort_values: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_map_tasks <= 0:
+            raise EngineError(
+                f"num_map_tasks must be positive, got {self.num_map_tasks}"
+            )
+        if self.num_reduce_tasks <= 0:
+            raise EngineError(
+                f"num_reduce_tasks must be positive, got {self.num_reduce_tasks}"
+            )
+
+
+@dataclass
+class MapReduceJob:
+    """A complete MapReduce job: functions plus configuration."""
+
+    name: str
+    mapper: Mapper
+    reducer: Reducer = identity_reducer
+    combiner: Reducer | None = None
+    conf: JobConf = field(default_factory=JobConf)
+
+    def then(self, next_job: "MapReduceJob") -> "JobChain":
+        """Chain another job after this one (its input = this job's output)."""
+        return JobChain([self, next_job])
+
+
+@dataclass
+class JobChain:
+    """A linear pipeline of MapReduce jobs (e.g. iterative PageRank steps)."""
+
+    jobs: list[MapReduceJob]
+
+    def then(self, next_job: MapReduceJob) -> "JobChain":
+        return JobChain([*self.jobs, next_job])
+
+    def __iter__(self):
+        return iter(self.jobs)
+
+    def __len__(self) -> int:
+        return len(self.jobs)

@@ -1,0 +1,249 @@
+"""The MapReduce execution engine.
+
+Runs :class:`~repro.engines.mapreduce.job.MapReduceJob` definitions over
+in-memory (key, value) pairs with the full Hadoop phase structure:
+
+input splits → map → (combine) → partition → sort → reduce
+
+Every phase updates Hadoop-style counters and the uniform
+:class:`~repro.engines.base.CostCounters`; a :class:`ClusterModel`
+additionally reports the makespan a simulated N-node cluster would
+achieve for the same task bag.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro._util import chunked
+from repro.core.errors import EngineError
+from repro.engines.base import (
+    CostCounters,
+    Engine,
+    EngineInfo,
+    SimulatedClusterSpec,
+)
+from repro.engines.mapreduce.cluster import ClusterModel, ClusterReport
+from repro.engines.mapreduce.counters import CounterGroup
+from repro.engines.mapreduce.job import JobChain, MapReduceJob
+
+Pair = tuple[Any, Any]
+
+
+@dataclass
+class JobResult:
+    """Everything one job run produced: output pairs plus evidence."""
+
+    job_name: str
+    output: list[Pair]
+    counters: CounterGroup
+    wall_seconds: float
+    cluster_report: ClusterReport
+    cost: CostCounters = field(default_factory=CostCounters)
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.cluster_report.simulated_seconds
+
+
+def _estimate_bytes(pair: Pair) -> int:
+    key, value = pair
+    return len(str(key)) + len(str(value))
+
+
+class MapReduceEngine(Engine):
+    """A from-scratch MapReduce runtime with a simulated cluster model."""
+
+    def __init__(self, cluster: SimulatedClusterSpec | None = None) -> None:
+        super().__init__()
+        self.cluster_model = ClusterModel(cluster)
+
+    @property
+    def info(self) -> EngineInfo:
+        return EngineInfo(
+            name="mapreduce",
+            system_type="MapReduce",
+            software_stack="Hadoop-like MapReduce runtime",
+            input_format="key-value",
+            description=(
+                "in-memory map/combine/shuffle/sort/reduce with Hadoop-style "
+                "counters and a simulated multi-node cluster"
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(self, job: MapReduceJob, pairs: Sequence[Pair]) -> JobResult:
+        """Execute one job over the input pairs."""
+        started = time.perf_counter()
+        counters = CounterGroup()
+        cost = CostCounters()
+
+        map_outputs, map_task_records = self._map_phase(job, pairs, counters, cost)
+        partitions, shuffle_bytes = self._shuffle_phase(
+            job, map_outputs, counters, cost
+        )
+        output, reduce_task_records = self._reduce_phase(
+            job, partitions, counters, cost
+        )
+
+        wall_seconds = time.perf_counter() - started
+        cluster_report = self.cluster_model.simulate_job(
+            map_task_records, shuffle_bytes, reduce_task_records
+        )
+        self.counters.merge(cost)
+        return JobResult(
+            job_name=job.name,
+            output=output,
+            counters=counters,
+            wall_seconds=wall_seconds,
+            cluster_report=cluster_report,
+            cost=cost,
+        )
+
+    def run_chain(self, chain: JobChain, pairs: Sequence[Pair]) -> list[JobResult]:
+        """Execute a job pipeline; each job consumes the previous output."""
+        results: list[JobResult] = []
+        current: Sequence[Pair] = pairs
+        for job in chain:
+            result = self.run(job, current)
+            results.append(result)
+            current = result.output
+        return results
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+
+    def _map_phase(
+        self,
+        job: MapReduceJob,
+        pairs: Sequence[Pair],
+        counters: CounterGroup,
+        cost: CostCounters,
+    ) -> tuple[list[list[Pair]], list[int]]:
+        """Run map tasks over input splits; returns per-task outputs."""
+        splits = chunked(list(pairs), job.conf.num_map_tasks)
+        outputs: list[list[Pair]] = []
+        task_records: list[int] = []
+        for split in splits:
+            task_output: list[Pair] = []
+            for key, value in split:
+                counters.increment("map", "input_records")
+                cost.records_read += 1
+                cost.bytes_read += _estimate_bytes((key, value))
+                for out_pair in job.mapper(key, value):
+                    if not isinstance(out_pair, tuple) or len(out_pair) != 2:
+                        raise EngineError(
+                            f"mapper of job {job.name!r} must yield (key, value) "
+                            f"pairs, got {out_pair!r}"
+                        )
+                    task_output.append(out_pair)
+                    counters.increment("map", "output_records")
+                    cost.compute_ops += 1
+            if job.combiner is not None:
+                task_output = self._combine(job, task_output, counters, cost)
+            outputs.append(task_output)
+            task_records.append(len(split) + len(task_output))
+        return outputs, task_records
+
+    def _combine(
+        self,
+        job: MapReduceJob,
+        task_output: list[Pair],
+        counters: CounterGroup,
+        cost: CostCounters,
+    ) -> list[Pair]:
+        """Run the combiner on one map task's local output."""
+        assert job.combiner is not None
+        grouped: dict[Any, list[Any]] = defaultdict(list)
+        for key, value in task_output:
+            grouped[key].append(value)
+        combined: list[Pair] = []
+        for key, values in grouped.items():
+            counters.increment("combine", "input_groups")
+            for out_pair in job.combiner(key, values):
+                combined.append(out_pair)
+                counters.increment("combine", "output_records")
+                cost.compute_ops += 1
+        return combined
+
+    def _shuffle_phase(
+        self,
+        job: MapReduceJob,
+        map_outputs: list[list[Pair]],
+        counters: CounterGroup,
+        cost: CostCounters,
+    ) -> tuple[list[dict[Any, list[Any]]], int]:
+        """Partition and group map output; returns per-reducer groups."""
+        num_reducers = job.conf.num_reduce_tasks
+        partitions: list[dict[Any, list[Any]]] = [
+            defaultdict(list) for _ in range(num_reducers)
+        ]
+        shuffle_bytes = 0
+        for task_output in map_outputs:
+            for key, value in task_output:
+                index = job.conf.partitioner(key, num_reducers)
+                if not 0 <= index < num_reducers:
+                    raise EngineError(
+                        f"partitioner returned {index} outside "
+                        f"[0, {num_reducers})"
+                    )
+                partitions[index][key].append(value)
+                pair_bytes = _estimate_bytes((key, value))
+                shuffle_bytes += pair_bytes
+                counters.increment("shuffle", "records")
+        counters.increment("shuffle", "bytes", shuffle_bytes)
+        cost.network_bytes += shuffle_bytes
+        return partitions, shuffle_bytes
+
+    def _reduce_phase(
+        self,
+        job: MapReduceJob,
+        partitions: list[dict[Any, list[Any]]],
+        counters: CounterGroup,
+        cost: CostCounters,
+    ) -> tuple[list[Pair], list[int]]:
+        """Sort (optionally) and reduce each partition."""
+        output: list[Pair] = []
+        task_records: list[int] = []
+        for partition in partitions:
+            keys = list(partition)
+            if job.conf.sort_keys:
+                keys.sort(key=_sort_token)
+            records = 0
+            for key in keys:
+                values = partition[key]
+                if job.conf.sort_values:
+                    values = sorted(values, key=_sort_token)
+                counters.increment("reduce", "input_groups")
+                counters.increment("reduce", "input_records", len(values))
+                records += len(values)
+                for out_pair in job.reducer(key, values):
+                    if not isinstance(out_pair, tuple) or len(out_pair) != 2:
+                        raise EngineError(
+                            f"reducer of job {job.name!r} must yield "
+                            f"(key, value) pairs, got {out_pair!r}"
+                        )
+                    output.append(out_pair)
+                    counters.increment("reduce", "output_records")
+                    cost.records_written += 1
+                    cost.bytes_written += _estimate_bytes(out_pair)
+                    cost.compute_ops += 1
+            task_records.append(records)
+        return output, task_records
+
+
+def _sort_token(value: Any) -> tuple[int, Any]:
+    """A total order over mixed-type keys: numbers first, then by text."""
+    if isinstance(value, bool):
+        return (1, str(value))
+    if isinstance(value, (int, float)):
+        return (0, value)
+    return (1, str(value))

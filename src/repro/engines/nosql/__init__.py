@@ -1,0 +1,41 @@
+"""A partitioned NoSQL store plus a YCSB-style client (the NoSQL substitute)."""
+
+from repro.engines.nosql.client import (
+    STANDARD_WORKLOADS,
+    OpType,
+    RequestDistribution,
+    YcsbClient,
+    YcsbRunReport,
+    YcsbWorkloadSpec,
+    workload_a,
+    workload_b,
+    workload_c,
+    workload_d,
+    workload_e,
+    workload_f,
+)
+from repro.engines.nosql.store import (
+    ConsistencyLevel,
+    LatencyModel,
+    NoSqlStore,
+    OpResult,
+)
+
+__all__ = [
+    "ConsistencyLevel",
+    "LatencyModel",
+    "NoSqlStore",
+    "OpResult",
+    "OpType",
+    "RequestDistribution",
+    "STANDARD_WORKLOADS",
+    "YcsbClient",
+    "YcsbRunReport",
+    "YcsbWorkloadSpec",
+    "workload_a",
+    "workload_b",
+    "workload_c",
+    "workload_d",
+    "workload_e",
+    "workload_f",
+]

@@ -1,0 +1,254 @@
+"""A YCSB-style client for the NoSQL store.
+
+Implements the Yahoo! Cloud Serving Benchmark's core abstractions
+(Cooper et al. 2010, reference [9] of the paper): a workload is an
+operation mix plus a request-key distribution, and the standard workloads
+A–F are provided as presets.  The client drives the store through a load
+phase and a run phase and reports per-operation latency statistics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import percentile
+from repro.core.errors import EngineError
+from repro.engines.nosql.store import NoSqlStore
+
+
+class RequestDistribution(enum.Enum):
+    """How request keys are chosen over the loaded key space."""
+
+    UNIFORM = "uniform"
+    ZIPFIAN = "zipfian"
+    LATEST = "latest"
+
+
+class OpType(enum.Enum):
+    READ = "read"
+    UPDATE = "update"
+    INSERT = "insert"
+    SCAN = "scan"
+    READ_MODIFY_WRITE = "read-modify-write"
+
+
+@dataclass
+class YcsbWorkloadSpec:
+    """An operation mix over a loaded record set (one YCSB workload)."""
+
+    name: str
+    read_proportion: float = 0.0
+    update_proportion: float = 0.0
+    insert_proportion: float = 0.0
+    scan_proportion: float = 0.0
+    read_modify_write_proportion: float = 0.0
+    request_distribution: RequestDistribution = RequestDistribution.ZIPFIAN
+    max_scan_length: int = 100
+    field_count: int = 10
+    field_length: int = 100
+
+    def __post_init__(self) -> None:
+        total = (
+            self.read_proportion
+            + self.update_proportion
+            + self.insert_proportion
+            + self.scan_proportion
+            + self.read_modify_write_proportion
+        )
+        if not 0.999 <= total <= 1.001:
+            raise EngineError(
+                f"workload {self.name!r} proportions sum to {total}, expected 1.0"
+            )
+
+    def operation_mix(self) -> list[tuple[OpType, float]]:
+        return [
+            (OpType.READ, self.read_proportion),
+            (OpType.UPDATE, self.update_proportion),
+            (OpType.INSERT, self.insert_proportion),
+            (OpType.SCAN, self.scan_proportion),
+            (OpType.READ_MODIFY_WRITE, self.read_modify_write_proportion),
+        ]
+
+
+def workload_a() -> YcsbWorkloadSpec:
+    """Update heavy: 50% read / 50% update, zipfian."""
+    return YcsbWorkloadSpec("A", read_proportion=0.5, update_proportion=0.5)
+
+
+def workload_b() -> YcsbWorkloadSpec:
+    """Read mostly: 95% read / 5% update, zipfian."""
+    return YcsbWorkloadSpec("B", read_proportion=0.95, update_proportion=0.05)
+
+
+def workload_c() -> YcsbWorkloadSpec:
+    """Read only, zipfian."""
+    return YcsbWorkloadSpec("C", read_proportion=1.0)
+
+
+def workload_d() -> YcsbWorkloadSpec:
+    """Read latest: 95% read / 5% insert, latest distribution."""
+    return YcsbWorkloadSpec(
+        "D",
+        read_proportion=0.95,
+        insert_proportion=0.05,
+        request_distribution=RequestDistribution.LATEST,
+    )
+
+
+def workload_e() -> YcsbWorkloadSpec:
+    """Short ranges: 95% scan / 5% insert, zipfian."""
+    return YcsbWorkloadSpec(
+        "E", scan_proportion=0.95, insert_proportion=0.05, max_scan_length=100
+    )
+
+
+def workload_f() -> YcsbWorkloadSpec:
+    """Read-modify-write: 50% read / 50% RMW, zipfian."""
+    return YcsbWorkloadSpec(
+        "F", read_proportion=0.5, read_modify_write_proportion=0.5
+    )
+
+
+STANDARD_WORKLOADS = {
+    "A": workload_a,
+    "B": workload_b,
+    "C": workload_c,
+    "D": workload_d,
+    "E": workload_e,
+    "F": workload_f,
+}
+
+
+@dataclass
+class YcsbRunReport:
+    """Latency and throughput evidence from one run phase."""
+
+    workload: str
+    operations: int
+    simulated_seconds: float
+    latencies: dict[OpType, list[float]] = field(default_factory=dict)
+    failures: int = 0
+
+    @property
+    def throughput_ops_per_second(self) -> float:
+        """Ops/second against the simulated service time."""
+        if self.simulated_seconds <= 0:
+            return 0.0
+        return self.operations / self.simulated_seconds
+
+    def latency_percentile(self, op_type: OpType, fraction: float) -> float:
+        samples = sorted(self.latencies.get(op_type, ()))
+        if not samples:
+            raise EngineError(f"no samples for {op_type.value!r}")
+        return percentile(samples, fraction)
+
+    def mean_latency(self, op_type: OpType) -> float:
+        samples = self.latencies.get(op_type, ())
+        if not samples:
+            raise EngineError(f"no samples for {op_type.value!r}")
+        return sum(samples) / len(samples)
+
+
+class YcsbClient:
+    """Drives a :class:`NoSqlStore` through YCSB load and run phases."""
+
+    KEY_PREFIX = "user"
+
+    def __init__(
+        self, store: NoSqlStore, spec: YcsbWorkloadSpec, seed: int = 0
+    ) -> None:
+        self.store = store
+        self.spec = spec
+        self._rng = np.random.default_rng(seed)
+        self._record_count = 0
+
+    def _key(self, index: int) -> str:
+        return f"{self.KEY_PREFIX}{index:012d}"
+
+    def _make_fields(self) -> dict[str, str]:
+        return {
+            f"field{i}": "".join(
+                chr(97 + int(c)) for c in
+                self._rng.integers(0, 26, size=self.spec.field_length // 10 or 1)
+            ) * 10
+            for i in range(self.spec.field_count)
+        }
+
+    def load(self, record_count: int) -> None:
+        """The YCSB load phase: insert ``record_count`` records."""
+        if record_count <= 0:
+            raise EngineError(f"record_count must be positive, got {record_count}")
+        for index in range(record_count):
+            self.store.insert(self._key(index), self._make_fields())
+        self._record_count = record_count
+
+    def _choose_key_index(self) -> int:
+        if self._record_count == 0:
+            raise EngineError("run phase requires a load phase first")
+        distribution = self.spec.request_distribution
+        if distribution is RequestDistribution.UNIFORM:
+            return int(self._rng.integers(0, self._record_count))
+        if distribution is RequestDistribution.ZIPFIAN:
+            rank = int(self._rng.zipf(1.35)) - 1
+            return rank % self._record_count
+        # LATEST: skewed towards the most recently inserted records.
+        rank = int(self._rng.zipf(1.35)) - 1
+        return (self._record_count - 1 - rank) % self._record_count
+
+    def run(self, operation_count: int) -> YcsbRunReport:
+        """The YCSB run phase: execute the operation mix."""
+        if operation_count <= 0:
+            raise EngineError(
+                f"operation_count must be positive, got {operation_count}"
+            )
+        mix = self.spec.operation_mix()
+        op_types = [op for op, _ in mix]
+        probabilities = np.array([weight for _, weight in mix])
+        probabilities = probabilities / probabilities.sum()
+        report = YcsbRunReport(
+            workload=self.spec.name,
+            operations=operation_count,
+            simulated_seconds=0.0,
+            latencies={op: [] for op in op_types},
+        )
+        draws = self._rng.choice(len(op_types), size=operation_count, p=probabilities)
+        for draw in draws:
+            op_type = op_types[int(draw)]
+            latency = self._execute(op_type, report)
+            report.latencies[op_type].append(latency)
+            report.simulated_seconds += latency
+        return report
+
+    def _execute(self, op_type: OpType, report: YcsbRunReport) -> float:
+        if op_type is OpType.READ:
+            result = self.store.read(self._key(self._choose_key_index()))
+            if not result.ok:
+                report.failures += 1
+            return result.latency_seconds
+        if op_type is OpType.UPDATE:
+            result = self.store.update(
+                self._key(self._choose_key_index()),
+                {"field0": "updated" * 14},
+            )
+            if not result.ok:
+                report.failures += 1
+            return result.latency_seconds
+        if op_type is OpType.INSERT:
+            index = self._record_count
+            self._record_count += 1
+            return self.store.insert(self._key(index), self._make_fields()).latency_seconds
+        if op_type is OpType.SCAN:
+            start = self._key(self._choose_key_index())
+            length = int(self._rng.integers(1, self.spec.max_scan_length + 1))
+            return self.store.scan(start, length).latency_seconds
+        # READ_MODIFY_WRITE
+        key = self._key(self._choose_key_index())
+        read_result = self.store.read(key)
+        if not read_result.ok:
+            report.failures += 1
+            return read_result.latency_seconds
+        write_result = self.store.update(key, {"field0": "rmw" * 33})
+        return read_result.latency_seconds + write_result.latency_seconds

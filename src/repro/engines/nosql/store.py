@@ -1,0 +1,331 @@
+"""A hash-partitioned NoSQL key-value/column store.
+
+The substitute for the Cassandra/HBase/PNUTS class of systems that YCSB
+targets (Section 4.2): keys hash to partitions, rows hold named fields,
+writes replicate to R partitions, and every operation reports a simulated
+latency from a small service-time model (base cost + replication +
+per-partition queueing).  Scans use an ordered key index, as YCSB's scan
+workloads assume a range-partitioned or ordered store.
+
+Reads and writes take a tunable :class:`ConsistencyLevel` (ONE / QUORUM /
+ALL), reproducing the consistency/latency trade-off the YCSB paper
+studied across Cassandra, HBase, and PNUTS: ONE is fastest but may
+return stale replicas after an asynchronously propagated write; QUORUM
+overlaps with the write quorum and stays fresh; ALL is freshest and
+slowest.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.errors import EngineError
+from repro.engines.base import Engine, EngineInfo
+
+Fields = dict[str, Any]
+
+
+class ConsistencyLevel(enum.Enum):
+    """How many replicas an operation must touch."""
+
+    ONE = "one"
+    QUORUM = "quorum"
+    ALL = "all"
+
+    def replicas_required(self, replication: int) -> int:
+        if self is ConsistencyLevel.ONE:
+            return 1
+        if self is ConsistencyLevel.QUORUM:
+            return replication // 2 + 1
+        return replication
+
+
+@dataclass
+class LatencyModel:
+    """Simulated service times (seconds) for the store's operations."""
+
+    read_seconds: float = 350e-6
+    write_seconds: float = 500e-6
+    scan_seconds_per_row: float = 60e-6
+    #: Extra per-replica write cost (network + remote apply).
+    replica_write_seconds: float = 250e-6
+    #: Queueing: added fraction per outstanding op on the hot partition.
+    contention_factor: float = 0.15
+    #: Multiplicative jitter std-dev (log-normal).
+    jitter_sigma: float = 0.10
+
+    def sample(
+        self, rng: np.random.Generator, base: float, queue_depth: int
+    ) -> float:
+        """One latency draw given a base service time and queue depth."""
+        queued = base * (1.0 + self.contention_factor * queue_depth)
+        if self.jitter_sigma <= 0:
+            return queued
+        return float(queued * rng.lognormal(0.0, self.jitter_sigma))
+
+
+@dataclass
+class OpResult:
+    """Outcome of one store operation."""
+
+    ok: bool
+    latency_seconds: float
+    fields: Fields | None = None
+    rows: list[tuple[str, Fields]] = field(default_factory=list)
+
+
+class NoSqlStore(Engine):
+    """An in-memory partitioned KV store with a latency model."""
+
+    def __init__(
+        self,
+        num_partitions: int = 8,
+        replication: int = 1,
+        latency: LatencyModel | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if num_partitions <= 0:
+            raise EngineError(
+                f"num_partitions must be positive, got {num_partitions}"
+            )
+        if not 1 <= replication <= num_partitions:
+            raise EngineError(
+                f"replication must be in [1, {num_partitions}], got {replication}"
+            )
+        self.num_partitions = num_partitions
+        self.replication = replication
+        self.latency = latency or LatencyModel()
+        self._rng = np.random.default_rng(seed)
+        self._partitions: list[dict[str, Fields]] = [
+            {} for _ in range(num_partitions)
+        ]
+        #: Per-partition row versions (monotone per key) for freshness.
+        self._versions: list[dict[str, int]] = [
+            {} for _ in range(num_partitions)
+        ]
+        #: Ordered key index for scans.
+        self._sorted_keys: list[str] = []
+        #: Per-partition in-flight depth for the queueing model.
+        self._partition_load: list[int] = [0] * num_partitions
+        #: Writes not yet propagated to all replicas (weak consistency).
+        self._pending_sync: list[tuple[int, str, Fields, int]] = []
+        self._write_clock = 0
+        self.total_latency_seconds = 0.0
+
+    @property
+    def info(self) -> EngineInfo:
+        return EngineInfo(
+            name="nosql",
+            system_type="NoSQL",
+            software_stack="partitioned key-value store (Cassandra/HBase substitute)",
+            input_format="key-value",
+            description=(
+                "hash partitioning, R-way replication, ordered scan index, "
+                "service-time latency model"
+            ),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _partition_of(self, key: str) -> int:
+        digest = 0
+        for char in str(key):
+            digest = (digest * 131 + ord(char)) & 0x7FFFFFFF
+        return digest % self.num_partitions
+
+    def _replica_partitions(self, key: str) -> list[int]:
+        home = self._partition_of(key)
+        return [(home + offset) % self.num_partitions for offset in range(self.replication)]
+
+    def _charge(self, partition: int, base: float, extra: float = 0.0) -> float:
+        depth = self._partition_load[partition]
+        self._partition_load[partition] += 1
+        latency = self.latency.sample(self._rng, base + extra, depth)
+        self._partition_load[partition] = max(0, self._partition_load[partition] - 1)
+        self.total_latency_seconds += latency
+        return latency
+
+    # ------------------------------------------------------------------
+    # Operations (YCSB's verb set: insert, read, update, scan, delete)
+    # ------------------------------------------------------------------
+
+    def _apply_write(
+        self, partition: int, key: str, fields: Fields, version: int,
+        merge: bool,
+    ) -> None:
+        if merge and key in self._partitions[partition]:
+            self._partitions[partition][key].update(fields)
+        else:
+            self._partitions[partition][key] = dict(fields)
+        self._versions[partition][key] = version
+
+    def _write(
+        self, key: str, fields: Fields, consistency: ConsistencyLevel,
+        merge: bool,
+    ) -> OpResult:
+        replicas = self._replica_partitions(key)
+        self._write_clock += 1
+        version = self._write_clock
+        required = consistency.replicas_required(self.replication)
+        for partition in replicas[:required]:
+            self._apply_write(partition, key, fields, version, merge)
+        for partition in replicas[required:]:
+            # Asynchronous propagation: applied later by anti-entropy.
+            self._pending_sync.append((partition, key, dict(fields), version))
+        extra = self.latency.replica_write_seconds * (required - 1)
+        latency = self._charge(replicas[0], self.latency.write_seconds, extra)
+        self.counters.records_written += 1
+        written = sum(len(str(k)) + len(str(v)) for k, v in fields.items())
+        self.counters.bytes_written += written
+        self.counters.network_bytes += written * (self.replication - 1)
+        return OpResult(ok=True, latency_seconds=latency)
+
+    def insert(
+        self, key: str, fields: Fields,
+        consistency: ConsistencyLevel = ConsistencyLevel.ALL,
+    ) -> OpResult:
+        """Insert (or overwrite) a row, replicated R ways.
+
+        With consistency below ALL, the remaining replicas receive the
+        write asynchronously (see :meth:`anti_entropy`).
+        """
+        if key not in self._partitions[self._partition_of(key)]:
+            position = bisect.bisect_left(self._sorted_keys, key)
+            if (
+                position >= len(self._sorted_keys)
+                or self._sorted_keys[position] != key
+            ):
+                bisect.insort(self._sorted_keys, key)
+        return self._write(key, fields, consistency, merge=False)
+
+    def read(
+        self,
+        key: str,
+        field_names: list[str] | None = None,
+        consistency: ConsistencyLevel = ConsistencyLevel.QUORUM,
+    ) -> OpResult:
+        """Read one row, contacting ``consistency``-many replicas.
+
+        Among contacted replicas the freshest version wins; ONE contacts
+        a single (rotating) replica and may observe a stale row after a
+        weakly consistent write.
+        """
+        replicas = self._replica_partitions(key)
+        required = consistency.replicas_required(self.replication)
+        if consistency is ConsistencyLevel.ONE and self.replication > 1:
+            # Load balancing: rotate across replicas (may hit a stale one).
+            start = int(self._rng.integers(self.replication))
+            contacted = [replicas[start]]
+        else:
+            contacted = replicas[:required]
+        extra = self.latency.read_seconds * 0.5 * (len(contacted) - 1)
+        latency = self._charge(contacted[0], self.latency.read_seconds, extra)
+        self.counters.records_read += 1
+        best_row: Fields | None = None
+        best_version = -1
+        for partition in contacted:
+            row = self._partitions[partition].get(key)
+            if row is None:
+                continue
+            version = self._versions[partition].get(key, 0)
+            if version > best_version:
+                best_row, best_version = row, version
+        if best_row is None:
+            return OpResult(ok=False, latency_seconds=latency)
+        if field_names is not None:
+            best_row = {
+                name: best_row[name] for name in field_names
+                if name in best_row
+            }
+        return OpResult(ok=True, latency_seconds=latency, fields=dict(best_row))
+
+    def update(
+        self, key: str, fields: Fields,
+        consistency: ConsistencyLevel = ConsistencyLevel.ALL,
+    ) -> OpResult:
+        """Merge fields into an existing row."""
+        replicas = self._replica_partitions(key)
+        if key not in self._partitions[replicas[0]]:
+            latency = self._charge(replicas[0], self.latency.read_seconds)
+            return OpResult(ok=False, latency_seconds=latency)
+        return self._write(key, fields, consistency, merge=True)
+
+    def anti_entropy(self) -> int:
+        """Propagate pending weak writes to their replicas; returns count.
+
+        The background repair process of eventually consistent stores;
+        after it runs, every replica holds the newest version.
+        """
+        applied = 0
+        for partition, key, fields, version in self._pending_sync:
+            if self._versions[partition].get(key, 0) < version:
+                self._apply_write(partition, key, fields, version, merge=True)
+                self.counters.network_bytes += sum(
+                    len(str(k)) + len(str(v)) for k, v in fields.items()
+                )
+                applied += 1
+        self._pending_sync.clear()
+        return applied
+
+    @property
+    def pending_replications(self) -> int:
+        """Writes still awaiting propagation (weak-consistency debt)."""
+        return len(self._pending_sync)
+
+    def delete(self, key: str) -> OpResult:
+        """Remove a row from every replica (always fully consistent)."""
+        replicas = self._replica_partitions(key)
+        existed = key in self._partitions[replicas[0]]
+        for partition in replicas:
+            self._partitions[partition].pop(key, None)
+            self._versions[partition].pop(key, None)
+        # Drop any in-flight weak writes for the key (tombstone wins).
+        self._pending_sync = [
+            entry for entry in self._pending_sync if entry[1] != key
+        ]
+        if existed:
+            position = bisect.bisect_left(self._sorted_keys, key)
+            if (
+                position < len(self._sorted_keys)
+                and self._sorted_keys[position] == key
+            ):
+                del self._sorted_keys[position]
+        latency = self._charge(replicas[0], self.latency.write_seconds)
+        self.counters.records_written += 1
+        return OpResult(ok=existed, latency_seconds=latency)
+
+    def scan(self, start_key: str, count: int) -> OpResult:
+        """Read up to ``count`` rows in key order starting at ``start_key``."""
+        if count <= 0:
+            raise EngineError(f"scan count must be positive, got {count}")
+        position = bisect.bisect_left(self._sorted_keys, start_key)
+        keys = self._sorted_keys[position : position + count]
+        rows: list[tuple[str, Fields]] = []
+        for key in keys:
+            partition = self._partition_of(key)
+            row = self._partitions[partition].get(key)
+            if row is not None:
+                rows.append((key, dict(row)))
+        self.counters.records_read += len(rows)
+        home = self._partition_of(start_key)
+        latency = self._charge(
+            home,
+            self.latency.read_seconds
+            + self.latency.scan_seconds_per_row * max(1, len(rows)),
+        )
+        return OpResult(ok=True, latency_seconds=latency, rows=rows)
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._sorted_keys)
+
+    def partition_sizes(self) -> list[int]:
+        """Row counts per partition (replicas included) — balance checks."""
+        return [len(partition) for partition in self._partitions]

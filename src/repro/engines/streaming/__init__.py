@@ -1,0 +1,25 @@
+"""A mini stream-processing engine (the real-time analytics substitute)."""
+
+from repro.engines.streaming.engine import (
+    FilterOperator,
+    MapOperator,
+    SlidingWindowAggregate,
+    StreamingEngine,
+    StreamOperator,
+    StreamRunReport,
+    Topology,
+    TumblingWindowAggregate,
+    WindowResult,
+)
+
+__all__ = [
+    "FilterOperator",
+    "MapOperator",
+    "SlidingWindowAggregate",
+    "StreamOperator",
+    "StreamRunReport",
+    "StreamingEngine",
+    "Topology",
+    "TumblingWindowAggregate",
+    "WindowResult",
+]

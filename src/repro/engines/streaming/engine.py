@@ -1,0 +1,305 @@
+"""A mini stream-processing engine.
+
+Implements the third meaning of data velocity in Section 2.1: "data
+streams continuously arrive and must be processed in real-time to keep up
+with their arriving speed".  The engine runs a topology of operators over
+timestamped events and models the processing side as a single-server
+queue: when the arrival rate exceeds the service rate, backlog and
+per-event latency grow — the behaviour real-time-analytics benchmarks
+must expose.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import defaultdict
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.errors import EngineError
+from repro.datagen.stream import StreamEvent
+from repro.engines.base import Engine, EngineInfo
+
+
+@dataclass(frozen=True)
+class WindowResult:
+    """One aggregate emitted by a window operator."""
+
+    window_start: float
+    window_end: float
+    key: Any
+    value: Any
+
+
+class StreamOperator(ABC):
+    """Base class of streaming operators (event in → events out)."""
+
+    @abstractmethod
+    def process(self, event: StreamEvent) -> Iterable[StreamEvent]:
+        """Transform one event into zero or more events."""
+
+    def flush(self) -> Iterable[WindowResult]:
+        """Emit any pending results at end of stream."""
+        return ()
+
+
+class MapOperator(StreamOperator):
+    """Apply a function to each event's value."""
+
+    def __init__(self, function: Callable[[StreamEvent], StreamEvent]) -> None:
+        self.function = function
+
+    def process(self, event: StreamEvent) -> Iterable[StreamEvent]:
+        yield self.function(event)
+
+
+class FilterOperator(StreamOperator):
+    """Drop events failing a predicate."""
+
+    def __init__(self, predicate: Callable[[StreamEvent], bool]) -> None:
+        self.predicate = predicate
+
+    def process(self, event: StreamEvent) -> Iterable[StreamEvent]:
+        if self.predicate(event):
+            yield event
+
+
+class TumblingWindowAggregate(StreamOperator):
+    """Per-key aggregation over fixed, non-overlapping time windows.
+
+    ``reducer(accumulator, value) -> accumulator`` folds values;
+    completed windows are emitted when an event arrives past their end
+    (watermark = event time, i.e. no allowed lateness).
+    """
+
+    def __init__(
+        self,
+        window_seconds: float,
+        reducer: Callable[[Any, float], Any],
+        initial: Callable[[], Any] = lambda: 0.0,
+    ) -> None:
+        if window_seconds <= 0:
+            raise EngineError(
+                f"window_seconds must be positive, got {window_seconds}"
+            )
+        self.window_seconds = window_seconds
+        self.reducer = reducer
+        self.initial = initial
+        self._windows: dict[int, dict[Any, Any]] = defaultdict(dict)
+        self._emitted: list[WindowResult] = []
+        self._watermark = float("-inf")
+
+    def _window_of(self, timestamp: float) -> int:
+        return int(timestamp // self.window_seconds)
+
+    def process(self, event: StreamEvent) -> Iterable[StreamEvent]:
+        window = self._window_of(event.timestamp)
+        per_key = self._windows[window]
+        accumulator = per_key.get(event.key)
+        if accumulator is None:
+            accumulator = self.initial()
+        per_key[event.key] = self.reducer(accumulator, event.value)
+        if event.timestamp > self._watermark:
+            self._watermark = event.timestamp
+            self._close_expired()
+        return ()
+
+    def _close_expired(self) -> None:
+        current = self._window_of(self._watermark)
+        for window in sorted(self._windows):
+            if window >= current:
+                break
+            self._emit_window(window)
+
+    def _emit_window(self, window: int) -> None:
+        per_key = self._windows.pop(window)
+        start = window * self.window_seconds
+        for key in sorted(per_key, key=str):
+            self._emitted.append(
+                WindowResult(
+                    window_start=start,
+                    window_end=start + self.window_seconds,
+                    key=key,
+                    value=per_key[key],
+                )
+            )
+
+    def flush(self) -> Iterable[WindowResult]:
+        for window in sorted(self._windows):
+            self._emit_window(window)
+        emitted = self._emitted
+        self._emitted = []
+        return emitted
+
+    def take_emitted(self) -> list[WindowResult]:
+        """Results of windows already closed by the watermark."""
+        emitted = self._emitted
+        self._emitted = []
+        return emitted
+
+
+class SlidingWindowAggregate(StreamOperator):
+    """Per-key aggregation over overlapping windows (size, slide).
+
+    Each event lands in every window whose span covers its timestamp, so
+    one event contributes to ``size / slide`` results.
+    """
+
+    def __init__(
+        self,
+        window_seconds: float,
+        slide_seconds: float,
+        reducer: Callable[[Any, float], Any],
+        initial: Callable[[], Any] = lambda: 0.0,
+    ) -> None:
+        if window_seconds <= 0 or slide_seconds <= 0:
+            raise EngineError("window and slide must be positive")
+        if slide_seconds > window_seconds:
+            raise EngineError("slide must not exceed the window size")
+        self.window_seconds = window_seconds
+        self.slide_seconds = slide_seconds
+        self.reducer = reducer
+        self.initial = initial
+        self._windows: dict[int, dict[Any, Any]] = defaultdict(dict)
+
+    def process(self, event: StreamEvent) -> Iterable[StreamEvent]:
+        # Windows start at multiples of the slide; the event belongs to
+        # every window with start <= t < start + size.
+        last_start = int(event.timestamp // self.slide_seconds)
+        spans = int(self.window_seconds // self.slide_seconds)
+        for offset in range(spans):
+            start_index = last_start - offset
+            start = start_index * self.slide_seconds
+            if start < 0 or event.timestamp >= start + self.window_seconds:
+                continue
+            per_key = self._windows[start_index]
+            accumulator = per_key.get(event.key)
+            if accumulator is None:
+                accumulator = self.initial()
+            per_key[event.key] = self.reducer(accumulator, event.value)
+        return ()
+
+    def flush(self) -> Iterable[WindowResult]:
+        results: list[WindowResult] = []
+        for start_index in sorted(self._windows):
+            start = start_index * self.slide_seconds
+            per_key = self._windows[start_index]
+            for key in sorted(per_key, key=str):
+                results.append(
+                    WindowResult(
+                        window_start=start,
+                        window_end=start + self.window_seconds,
+                        key=key,
+                        value=per_key[key],
+                    )
+                )
+        self._windows.clear()
+        return results
+
+
+@dataclass
+class Topology:
+    """A linear pipeline of stream operators."""
+
+    name: str
+    operators: list[StreamOperator] = field(default_factory=list)
+
+    def then(self, operator: StreamOperator) -> "Topology":
+        self.operators.append(operator)
+        return self
+
+
+@dataclass
+class StreamRunReport:
+    """Evidence from one streaming run."""
+
+    topology: str
+    events_in: int
+    results: list[WindowResult]
+    #: Per-event queueing latency (departure − arrival), simulated.
+    latencies: list[float]
+    arrival_rate: float
+    service_rate: float
+    #: Events still queued when the source ended (backlog).
+    final_backlog_seconds: float
+
+    @property
+    def keeps_up(self) -> bool:
+        """Whether processing kept up with the arrival speed."""
+        return self.service_rate >= self.arrival_rate
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def max_latency(self) -> float:
+        return max(self.latencies) if self.latencies else 0.0
+
+
+class StreamingEngine(Engine):
+    """Runs topologies over event streams with a queueing-time model."""
+
+    def __init__(self, service_seconds_per_event: float = 50e-6) -> None:
+        super().__init__()
+        if service_seconds_per_event <= 0:
+            raise EngineError(
+                "service_seconds_per_event must be positive, got "
+                f"{service_seconds_per_event}"
+            )
+        self.service_seconds_per_event = service_seconds_per_event
+
+    @property
+    def info(self) -> EngineInfo:
+        return EngineInfo(
+            name="streaming",
+            system_type="Streaming",
+            software_stack="stream processor (real-time analytics substitute)",
+            input_format="records",
+            description=(
+                "linear operator topologies, tumbling/sliding windows, "
+                "single-server queueing latency model"
+            ),
+        )
+
+    def run(self, topology: Topology, events: Sequence[StreamEvent]) -> StreamRunReport:
+        """Process an event stream through a topology."""
+        ordered = sorted(events, key=lambda event: event.timestamp)
+        latencies: list[float] = []
+        departure = 0.0
+        for event in ordered:
+            # Single-server queue: service starts when both the event has
+            # arrived and the previous event has departed.
+            start = max(event.timestamp, departure)
+            departure = start + self.service_seconds_per_event
+            latencies.append(departure - event.timestamp)
+            self.counters.records_read += 1
+            current: list[StreamEvent] = [event]
+            for operator in topology.operators:
+                next_events: list[StreamEvent] = []
+                for item in current:
+                    next_events.extend(operator.process(item))
+                    self.counters.compute_ops += 1
+                current = next_events
+        results: list[WindowResult] = []
+        for operator in topology.operators:
+            results.extend(operator.flush())
+        self.counters.records_written += len(results)
+
+        span = (
+            ordered[-1].timestamp - ordered[0].timestamp if len(ordered) > 1 else 0.0
+        )
+        arrival_rate = (len(ordered) - 1) / span if span > 0 else float("inf")
+        backlog = max(0.0, departure - (ordered[-1].timestamp if ordered else 0.0))
+        return StreamRunReport(
+            topology=topology.name,
+            events_in=len(ordered),
+            results=results,
+            latencies=latencies,
+            arrival_rate=arrival_rate,
+            service_rate=1.0 / self.service_seconds_per_event,
+            final_backlog_seconds=backlog,
+        )

@@ -1,0 +1,30 @@
+"""The Execution Layer: configuration, running, sweeping, reporting."""
+
+from repro.execution.config import (
+    SystemConfiguration,
+    default_configurations,
+    prepare_input,
+)
+from repro.execution.harness import BenchmarkHarness, SweepPoint, SweepReport
+from repro.execution.report import (
+    ascii_table,
+    markdown_table,
+    results_json,
+    results_table,
+)
+from repro.execution.runner import RunnerOptions, TestRunner
+
+__all__ = [
+    "BenchmarkHarness",
+    "RunnerOptions",
+    "SweepPoint",
+    "SweepReport",
+    "SystemConfiguration",
+    "TestRunner",
+    "ascii_table",
+    "default_configurations",
+    "markdown_table",
+    "prepare_input",
+    "results_json",
+    "results_table",
+]

@@ -1,0 +1,88 @@
+"""System configuration tools (Execution Layer, Figure 2).
+
+"The system configuration tools enable a generated test running in a
+specific software stack."  Concretely: named engine configurations
+(cluster size, planner knobs, store partitioning, stream service rate)
+that the runner uses to instantiate engines, plus input format
+conversion so a data set matches what the engine consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.errors import ExecutionError
+from repro.datagen.base import DataSet
+from repro.datagen.formats import ConvertedData, convert
+from repro.engines.base import Engine, EngineInfo, SimulatedClusterSpec
+
+
+@dataclass
+class SystemConfiguration:
+    """A named way to instantiate one engine."""
+
+    engine_name: str
+    options: dict[str, Any] = field(default_factory=dict)
+    label: str = ""
+
+    def build(self) -> Engine:
+        """Instantiate the configured engine."""
+        if self.engine_name == "mapreduce":
+            from repro.engines.mapreduce import MapReduceEngine
+
+            cluster = SimulatedClusterSpec(**self.options) if self.options else None
+            return MapReduceEngine(cluster=cluster)
+        if self.engine_name == "dbms":
+            from repro.engines.dbms import DbmsEngine, PlannerConfig
+
+            config = PlannerConfig(**self.options) if self.options else None
+            return DbmsEngine(planner_config=config)
+        if self.engine_name == "nosql":
+            from repro.engines.nosql import NoSqlStore
+
+            return NoSqlStore(**self.options)
+        if self.engine_name == "streaming":
+            from repro.engines.streaming import StreamingEngine
+
+            return StreamingEngine(**self.options)
+        if self.engine_name == "dfs":
+            from repro.engines.dfs import DistributedFileSystem
+
+            return DistributedFileSystem(**self.options)
+        raise ExecutionError(
+            f"no configuration recipe for engine {self.engine_name!r}"
+        )
+
+
+def default_configurations() -> dict[str, SystemConfiguration]:
+    """One sensible default configuration per built-in engine."""
+    return {
+        "mapreduce": SystemConfiguration(
+            "mapreduce", {"num_nodes": 4, "slots_per_node": 2},
+            label="4-node simulated Hadoop-like cluster",
+        ),
+        "dbms": SystemConfiguration("dbms", label="single-node relational DBMS"),
+        "nosql": SystemConfiguration(
+            "nosql", {"num_partitions": 8, "replication": 2},
+            label="8-partition store, RF=2",
+        ),
+        "streaming": SystemConfiguration(
+            "streaming", {"service_seconds_per_event": 50e-6},
+            label="20k events/s stream processor",
+        ),
+        "dfs": SystemConfiguration(
+            "dfs", {"num_nodes": 4, "replication": 2},
+            label="4-node simulated DFS, RF=2",
+        ),
+    }
+
+
+def prepare_input(dataset: DataSet, engine: Engine) -> ConvertedData:
+    """Convert a data set into the engine's declared input format.
+
+    This is the format-conversion step of Section 2.3 — the runner calls
+    it before every execution so a test never sees a mismatched format.
+    """
+    info: EngineInfo = engine.info
+    return convert(dataset, info.input_format)

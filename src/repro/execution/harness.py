@@ -1,0 +1,125 @@
+"""Sweep and comparison harnesses built on the runner.
+
+These drive the repeated-measurement patterns the benchmark files need:
+volume sweeps (scalability shapes), cross-engine comparisons (the
+functional-view experiment), and configuration sweeps (planner and
+cluster ablations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.prescription import Prescription
+from repro.core.results import ResultAnalyzer, RunResult
+from repro.execution.config import SystemConfiguration
+from repro.execution.runner import TestRunner
+
+
+@dataclass
+class SweepPoint:
+    """One measured point of a parameter sweep."""
+
+    parameter: str
+    value: Any
+    result: RunResult
+
+
+@dataclass
+class SweepReport:
+    """All points of one sweep, with convenience accessors."""
+
+    parameter: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def series(self, metric: str) -> list[tuple[Any, float]]:
+        """(parameter value, metric mean) pairs in sweep order."""
+        return [
+            (point.value, point.result.mean(metric))
+            for point in self.points
+            if metric in point.result.metrics
+        ]
+
+    def rows(self, metric_names: list[str]) -> list[dict[str, Any]]:
+        rows = []
+        for point in self.points:
+            row: dict[str, Any] = {self.parameter: point.value}
+            for name in metric_names:
+                if name in point.result.metrics:
+                    row[name] = point.result.mean(name)
+            rows.append(row)
+        return rows
+
+
+class BenchmarkHarness:
+    """High-level sweep/compare operations for benchmark files."""
+
+    def __init__(self, runner: TestRunner | None = None) -> None:
+        self.runner = runner or TestRunner()
+
+    def volume_sweep(
+        self,
+        prescription: Prescription | str,
+        engine_name: str,
+        volumes: list[int],
+        **overrides: Any,
+    ) -> SweepReport:
+        """Run one prescription at several data volumes."""
+        report = SweepReport(parameter="volume")
+        for volume in volumes:
+            result = self.runner.run(
+                prescription, engine_name, volume_override=volume, **overrides
+            )
+            report.points.append(SweepPoint("volume", volume, result))
+        return report
+
+    def param_sweep(
+        self,
+        prescription: Prescription | str,
+        engine_name: str,
+        parameter: str,
+        values: list[Any],
+        **fixed_overrides: Any,
+    ) -> SweepReport:
+        """Run one prescription sweeping a workload parameter."""
+        report = SweepReport(parameter=parameter)
+        for value in values:
+            overrides = {**fixed_overrides, parameter: value}
+            result = self.runner.run(prescription, engine_name, **overrides)
+            report.points.append(SweepPoint(parameter, value, result))
+        return report
+
+    def compare_engines(
+        self,
+        prescription: Prescription | str,
+        engine_names: list[str],
+        volume_override: int | None = None,
+        **overrides: Any,
+    ) -> ResultAnalyzer:
+        """The same abstract test on several systems (functional view)."""
+        results = self.runner.run_on_engines(
+            prescription, engine_names, volume_override, **overrides
+        )
+        return ResultAnalyzer(results)
+
+    def configuration_sweep(
+        self,
+        prescription: Prescription | str,
+        engine_name: str,
+        configurations: dict[str, SystemConfiguration],
+        **overrides: Any,
+    ) -> SweepReport:
+        """Run one prescription under several engine configurations."""
+        report = SweepReport(parameter="configuration")
+        original = dict(self.runner.configurations)
+        try:
+            for label, configuration in configurations.items():
+                self.runner.configurations[engine_name] = configuration
+                result = self.runner.run(prescription, engine_name, **overrides)
+                result.extra["configuration"] = label
+                report.points.append(SweepPoint("configuration", label, result))
+        finally:
+            self.runner.configurations.clear()
+            self.runner.configurations.update(original)
+        return report

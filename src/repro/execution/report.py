@@ -1,0 +1,116 @@
+"""Result analyzer & reporter rendering (Execution Layer, Figure 2).
+
+Renders analysis results as aligned ASCII tables (what the benchmarks
+print), markdown tables (what EXPERIMENTS.md embeds), and JSON (for
+machine consumption).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.results import ResultAnalyzer, RunResult
+
+
+def format_value(value: Any) -> str:
+    """Compact human-readable formatting for table cells."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3g}"
+        if abs(value) >= 0.001:
+            return f"{value:.4g}"
+        return f"{value:.3e}"
+    return str(value)
+
+
+def ascii_table(rows: list[dict[str, Any]], columns: list[str] | None = None) -> str:
+    """Render dict rows as an aligned ASCII table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    rendered = [
+        {column: format_value(row.get(column, "")) for column in columns}
+        for row in rows
+    ]
+    widths = {
+        column: max(len(column), *(len(row[column]) for row in rendered))
+        for column in columns
+    }
+    header = " | ".join(column.ljust(widths[column]) for column in columns)
+    separator = "-+-".join("-" * widths[column] for column in columns)
+    lines = [header, separator]
+    for row in rendered:
+        lines.append(
+            " | ".join(row[column].ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def markdown_table(
+    rows: list[dict[str, Any]], columns: list[str] | None = None
+) -> str:
+    """Render dict rows as a GitHub-flavoured markdown table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    lines = ["| " + " | ".join(columns) + " |"]
+    lines.append("|" + "|".join("---" for _ in columns) + "|")
+    for row in rows:
+        lines.append(
+            "| "
+            + " | ".join(format_value(row.get(column, "")) for column in columns)
+            + " |"
+        )
+    return "\n".join(lines)
+
+
+def results_table(
+    results: list[RunResult], metric_names: list[str], style: str = "ascii"
+) -> str:
+    """Render run results for the given metrics."""
+    analyzer = ResultAnalyzer(results)
+    rows = analyzer.summary_rows(metric_names)
+    if style == "markdown":
+        return markdown_table(rows)
+    return ascii_table(rows)
+
+
+def results_json(results: list[RunResult]) -> str:
+    """Serialize results (all metric statistics) to JSON."""
+    payload = []
+    for result in results:
+        payload.append(
+            {
+                "test": result.test_name,
+                "workload": result.workload,
+                "engine": result.engine,
+                "repeats": result.repeats,
+                "metrics": {
+                    name: {
+                        "mean": stats.mean,
+                        "min": stats.minimum,
+                        "max": stats.maximum,
+                        "stdev": stats.stdev,
+                    }
+                    for name, stats in result.metrics.items()
+                },
+            }
+        )
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,125 @@
+"""The test runner (Execution step of Figure 1).
+
+Runs prescribed tests with warmup and repeats, computes metric statistics
+through the standard metric suite, and returns
+:class:`~repro.core.results.RunResult` objects ready for analysis.
+
+Engines are rebuilt per repeat so repeats stay independent — a DBMS that
+cached tables from the previous repeat, or a KV store already containing
+inserted keys, would otherwise contaminate the statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.errors import ExecutionError
+from repro.core.metrics import MetricSuite
+from repro.core.prescription import Prescription
+from repro.core.results import RunResult
+from repro.core.test_generator import PrescribedTest, TestGenerator
+from repro.execution.config import (
+    SystemConfiguration,
+    default_configurations,
+    prepare_input,
+)
+from repro.workloads.base import WorkloadResult
+
+
+@dataclass
+class RunnerOptions:
+    """Execution policy for one runner."""
+
+    repeats: int = 1
+    warmup_runs: int = 0
+    #: Validate format convertibility before running (Section 2.3).
+    check_format: bool = True
+
+    def __post_init__(self) -> None:
+        if self.repeats <= 0:
+            raise ExecutionError(f"repeats must be positive, got {self.repeats}")
+        if self.warmup_runs < 0:
+            raise ExecutionError(
+                f"warmup_runs must be non-negative, got {self.warmup_runs}"
+            )
+
+
+class TestRunner:
+    """Executes prescribed tests and aggregates their metrics."""
+
+    __test__ = False  # "Test" prefix is domain vocabulary, not a pytest class
+
+    def __init__(
+        self,
+        test_generator: TestGenerator | None = None,
+        configurations: dict[str, SystemConfiguration] | None = None,
+        options: RunnerOptions | None = None,
+        suite: MetricSuite | None = None,
+    ) -> None:
+        self.test_generator = test_generator or TestGenerator()
+        self.configurations = configurations or default_configurations()
+        self.options = options or RunnerOptions()
+        self.suite = suite or MetricSuite.standard()
+
+    # ------------------------------------------------------------------
+
+    def _build_engine(self, engine_name: str):
+        configuration = self.configurations.get(engine_name)
+        if configuration is not None:
+            return configuration.build()
+        return self.test_generator.engines.create(engine_name)
+
+    def run_once(self, test: PrescribedTest, **overrides: Any) -> WorkloadResult:
+        """One execution of an already-bound prescribed test."""
+        if self.options.check_format:
+            prepare_input(test.dataset, test.engine)
+        return test.run(**overrides)
+
+    def run(
+        self,
+        prescription: Prescription | str,
+        engine_name: str,
+        volume_override: int | None = None,
+        **overrides: Any,
+    ) -> RunResult:
+        """Generate and run one prescribed test with repeats.
+
+        The data set is generated once (same data every repeat); the
+        engine is rebuilt per repeat for independence.
+        """
+        test = self.test_generator.generate(
+            prescription, engine_name, volume_override
+        )
+        for _ in range(self.options.warmup_runs):
+            fresh = self._rebind(test, engine_name)
+            self.run_once(fresh, **overrides)
+        workload_results = []
+        for _ in range(self.options.repeats):
+            fresh = self._rebind(test, engine_name)
+            workload_results.append(self.run_once(fresh, **overrides))
+        return RunResult.from_workload_results(
+            test.name, workload_results, self.suite
+        )
+
+    def _rebind(self, test: PrescribedTest, engine_name: str) -> PrescribedTest:
+        """The same prescription and data on a fresh engine instance."""
+        return PrescribedTest(
+            prescription=test.prescription,
+            engine=self._build_engine(engine_name),
+            workload=test.workload,
+            dataset=test.dataset,
+        )
+
+    def run_on_engines(
+        self,
+        prescription: Prescription | str,
+        engine_names: list[str],
+        volume_override: int | None = None,
+        **overrides: Any,
+    ) -> list[RunResult]:
+        """The same prescription across several engines (system view)."""
+        return [
+            self.run(prescription, engine_name, volume_override, **overrides)
+            for engine_name in engine_names
+        ]

@@ -1,0 +1,49 @@
+"""Models and runnable miniatures of the ten surveyed benchmark suites.
+
+This package regenerates the paper's evaluation artifacts:
+
+* Table 1 (data-generation techniques) — derived by
+  :mod:`repro.suites.classify` from capability facts in
+  :mod:`repro.suites.registry`;
+* Table 2 (benchmarking techniques) — derived from each suite's workload
+  inventory;
+* each suite additionally has an executable miniature
+  (:mod:`repro.suites.miniatures`) running its workloads on this
+  repository's engines.
+"""
+
+from repro.suites.classify import Table1Row, classify_generator, classify_suite
+from repro.suites.miniatures import (
+    MINIATURES,
+    MiniatureReport,
+    run_miniature,
+)
+from repro.suites.registry import SUITES, SuiteModel, suite
+from repro.suites.tables import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    Table2Row,
+    generate_table1,
+    generate_table2,
+    table1_matches_paper,
+    table2_matches_paper,
+)
+
+__all__ = [
+    "MINIATURES",
+    "MiniatureReport",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "SUITES",
+    "SuiteModel",
+    "Table1Row",
+    "Table2Row",
+    "classify_generator",
+    "classify_suite",
+    "generate_table1",
+    "generate_table2",
+    "run_miniature",
+    "suite",
+    "table1_matches_paper",
+    "table2_matches_paper",
+]

@@ -1,0 +1,99 @@
+"""Concrete workloads: the executable side of the paper's Table 2.
+
+Every workload declares its application domain, user-view category
+(online services / offline analytics / real-time analytics), abstract
+operations, and pattern — then implements ``run_<engine>`` per supported
+substrate.
+"""
+
+from repro.workloads.base import (
+    ApplicationDomain,
+    Workload,
+    WorkloadCategory,
+    WorkloadResult,
+)
+from repro.workloads.cfs import CfsWorkload
+from repro.workloads.deeplearning import MlpClassificationWorkload
+from repro.workloads.ecommerce import (
+    CollaborativeFilteringWorkload,
+    NaiveBayesWorkload,
+    label_document,
+)
+from repro.workloads.hybrid import (
+    ArrivalPattern,
+    HybridWorkload,
+    profile_arrival_pattern,
+)
+from repro.workloads.multimedia import ImageClassificationWorkload
+from repro.workloads.micro import (
+    GrepWorkload,
+    SortWorkload,
+    TeraSortWorkload,
+    WordCountWorkload,
+)
+from repro.workloads.oltp import YcsbWorkload
+from repro.workloads.relational import (
+    CountUrlLinksWorkload,
+    RelationalQueryWorkload,
+    derive_products,
+)
+from repro.workloads.search import InvertedIndexWorkload, PageRankWorkload
+from repro.workloads.social import ConnectedComponentsWorkload, KMeansWorkload
+from repro.workloads.streaming_workloads import (
+    RollingUpdateRateWorkload,
+    WindowedAggregationWorkload,
+)
+
+#: Every built-in workload class, in registry order.
+ALL_WORKLOADS: tuple[type[Workload], ...] = (
+    SortWorkload,
+    CfsWorkload,
+    TeraSortWorkload,
+    WordCountWorkload,
+    GrepWorkload,
+    InvertedIndexWorkload,
+    PageRankWorkload,
+    KMeansWorkload,
+    ConnectedComponentsWorkload,
+    CollaborativeFilteringWorkload,
+    NaiveBayesWorkload,
+    RelationalQueryWorkload,
+    CountUrlLinksWorkload,
+    YcsbWorkload,
+    WindowedAggregationWorkload,
+    RollingUpdateRateWorkload,
+    HybridWorkload,
+    ImageClassificationWorkload,
+    MlpClassificationWorkload,
+)
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "ApplicationDomain",
+    "CfsWorkload",
+    "ArrivalPattern",
+    "CollaborativeFilteringWorkload",
+    "ConnectedComponentsWorkload",
+    "CountUrlLinksWorkload",
+    "GrepWorkload",
+    "HybridWorkload",
+    "ImageClassificationWorkload",
+    "MlpClassificationWorkload",
+    "InvertedIndexWorkload",
+    "KMeansWorkload",
+    "NaiveBayesWorkload",
+    "PageRankWorkload",
+    "RelationalQueryWorkload",
+    "RollingUpdateRateWorkload",
+    "SortWorkload",
+    "TeraSortWorkload",
+    "WindowedAggregationWorkload",
+    "WordCountWorkload",
+    "Workload",
+    "WorkloadCategory",
+    "WorkloadResult",
+    "YcsbWorkload",
+    "derive_products",
+    "label_document",
+    "profile_arrival_pattern",
+]

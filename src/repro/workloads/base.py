@@ -1,0 +1,139 @@
+"""Workload base classes.
+
+A workload is the bridge between the paper's two views (Section 2.2):
+
+* **functional view** — each workload declares its abstract operations
+  and workload pattern, independent of any system;
+* **system view** — each workload provides one implementation per
+  supported engine, so the same abstract behaviour can be executed on a
+  DBMS, a MapReduce runtime, a NoSQL store, or a stream processor.
+
+Implementations are methods named ``run_<engine-name>``; the dispatcher
+:meth:`Workload.run` routes by the engine's registered name, times the
+run, and assembles a :class:`WorkloadResult` with uniform evidence.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from abc import ABC
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.errors import ExecutionError
+from repro.core.metrics import RunEvidence
+from repro.core.operations import AbstractOperation
+from repro.core.patterns import WorkloadPattern
+from repro.datagen.base import DataSet, DataType
+from repro.engines.base import CostCounters, Engine
+
+
+class WorkloadCategory(enum.Enum):
+    """The three user-view categories of Table 2."""
+
+    ONLINE_SERVICE = "online services"
+    OFFLINE_ANALYTICS = "offline analytics"
+    REALTIME_ANALYTICS = "real-time analytics"
+
+
+class ApplicationDomain(enum.Enum):
+    """Application domains used throughout the paper."""
+
+    MICRO = "micro benchmarks"
+    SEARCH_ENGINE = "search engine"
+    SOCIAL_NETWORK = "social network"
+    E_COMMERCE = "e-commerce"
+    BASIC_DATABASE = "basic database operations"
+    CLOUD_OLTP = "cloud OLTP"
+    STREAMING = "streaming"
+    MULTIMEDIA = "multimedia"
+    DEEP_LEARNING = "large-scale learning"
+
+
+@dataclass
+class WorkloadResult:
+    """Uniform outcome of one workload execution on one engine."""
+
+    workload: str
+    engine: str
+    output: Any
+    records_in: int
+    records_out: int
+    duration_seconds: float
+    cost: CostCounters = field(default_factory=CostCounters)
+    latencies: list[float] = field(default_factory=list)
+    simulated_seconds: float | None = None
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def evidence(self) -> RunEvidence:
+        """Package the result for metric computation."""
+        return RunEvidence(
+            duration_seconds=self.duration_seconds,
+            records_in=self.records_in,
+            records_out=self.records_out,
+            cost=self.cost,
+            latencies=self.latencies,
+            simulated_seconds=self.simulated_seconds,
+        )
+
+
+class Workload(ABC):
+    """Base class of every concrete workload."""
+
+    #: Registry name, e.g. "wordcount".
+    name: str = "workload"
+    domain: ApplicationDomain = ApplicationDomain.MICRO
+    category: WorkloadCategory = WorkloadCategory.OFFLINE_ANALYTICS
+    #: The data type this workload consumes.
+    data_type: DataType = DataType.TEXT
+    #: Abstract operations (functional view).
+    abstract_operations: tuple[AbstractOperation, ...] = ()
+    #: The workload pattern combining those operations.
+    pattern: WorkloadPattern | None = None
+
+    def supported_engines(self) -> tuple[str, ...]:
+        """Engine names this workload implements (from run_* methods)."""
+        prefix = "run_"
+        return tuple(
+            sorted(
+                attribute[len(prefix):]
+                for attribute in dir(self)
+                if attribute.startswith(prefix)
+                and callable(getattr(self, attribute))
+            )
+        )
+
+    def supports(self, engine_name: str) -> bool:
+        return engine_name in self.supported_engines()
+
+    def run(self, engine: Engine, dataset: DataSet, **params: Any) -> WorkloadResult:
+        """Execute this workload on the given engine and data set."""
+        if dataset.data_type is not self.data_type:
+            raise ExecutionError(
+                f"workload {self.name!r} expects {self.data_type.label} data, "
+                f"got {dataset.data_type.label}"
+            )
+        implementation = getattr(self, f"run_{engine.name}", None)
+        if implementation is None:
+            raise ExecutionError(
+                f"workload {self.name!r} does not support engine "
+                f"{engine.name!r}; supported: {self.supported_engines()}"
+            )
+        started = time.perf_counter()
+        result = implementation(engine, dataset, **params)
+        if result.duration_seconds == 0.0:
+            result.duration_seconds = time.perf_counter() - started
+        return result
+
+    def describe(self) -> dict[str, Any]:
+        """Static description (feeds Table 2 and the prescriptions)."""
+        return {
+            "name": self.name,
+            "domain": self.domain.value,
+            "category": self.category.value,
+            "data_type": self.data_type.label,
+            "operations": [op.name for op in self.abstract_operations],
+            "pattern": self.pattern.pattern_name if self.pattern else None,
+            "engines": list(self.supported_engines()),
+        }

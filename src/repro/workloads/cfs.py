@@ -1,0 +1,111 @@
+"""Cloud-file-system (CFS) micro workload.
+
+BigDataBench's micro benchmarks list "CFS" alongside sort/grep/WordCount:
+basic DFS read/write operations.  This workload writes a text data set
+into the simulated DFS as files, reads it back, verifies integrity,
+appends, deletes, and reports per-operation simulated latencies — the
+HDFS micro benchmark (a TestDFSIO analogue) at laptop scale.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.errors import ExecutionError
+from repro.core.operations import operations
+from repro.core.patterns import MultiOperationPattern
+from repro.datagen.base import DataSet, DataType
+from repro.engines.base import CostCounters
+from repro.engines.dfs import DistributedFileSystem
+from repro.workloads.base import (
+    ApplicationDomain,
+    Workload,
+    WorkloadCategory,
+    WorkloadResult,
+)
+
+
+class CfsWorkload(Workload):
+    """DFS read/write/append/delete micro benchmark."""
+
+    name = "cfs"
+    domain = ApplicationDomain.MICRO
+    category = WorkloadCategory.ONLINE_SERVICE
+    data_type = DataType.TEXT
+    abstract_operations = tuple(
+        operations("write", "read", "update", "delete")
+    )
+    pattern = MultiOperationPattern(
+        operations("write", "read", "update", "delete")
+    )
+
+    def run_dfs(
+        self,
+        engine: DistributedFileSystem,
+        dataset: DataSet,
+        files: int = 8,
+        **params: Any,
+    ) -> WorkloadResult:
+        if not dataset.records:
+            raise ExecutionError("CFS workload needs a non-empty data set")
+        if files <= 0:
+            raise ExecutionError(f"files must be positive, got {files}")
+
+        # Pack the documents into `files` roughly equal files.
+        per_file = max(1, len(dataset.records) // files)
+        payloads: list[tuple[str, bytes]] = []
+        for index in range(files):
+            chunk = dataset.records[index * per_file : (index + 1) * per_file]
+            if not chunk:
+                break
+            payloads.append(
+                (f"/bench/part-{index:05d}", "\n".join(chunk).encode())
+            )
+
+        latencies: dict[str, list[float]] = {
+            "write": [], "read": [], "append": [], "delete": [],
+        }
+        bytes_total = 0
+        for path, payload in payloads:
+            report = engine.write_file(path, payload)
+            latencies["write"].append(report.simulated_seconds)
+            bytes_total += len(payload)
+        for path, payload in payloads:
+            report = engine.read_file(path)
+            latencies["read"].append(report.simulated_seconds)
+            if report.data != payload:
+                raise ExecutionError(f"DFS read-back mismatch for {path!r}")
+        for path, _ in payloads[: max(1, len(payloads) // 2)]:
+            report = engine.append(path, b"\nappended-line")
+            latencies["append"].append(report.simulated_seconds)
+        for path, _ in payloads:
+            report = engine.delete_file(path)
+            latencies["delete"].append(report.simulated_seconds)
+
+        simulated = sum(sum(samples) for samples in latencies.values())
+        all_latencies = [
+            value for samples in latencies.values() for value in samples
+        ]
+        return WorkloadResult(
+            workload=self.name,
+            engine=engine.name,
+            output={
+                "files": len(payloads),
+                "bytes": bytes_total,
+                "mean_latency_by_op": {
+                    op: (sum(samples) / len(samples) if samples else 0.0)
+                    for op, samples in latencies.items()
+                },
+            },
+            records_in=dataset.num_records,
+            records_out=len(payloads),
+            duration_seconds=0.0,  # filled by the dispatcher
+            cost=CostCounters().merge(engine.counters),
+            latencies=all_latencies,
+            simulated_seconds=simulated,
+            extra={
+                "write_throughput_bytes_per_second":
+                    bytes_total / sum(latencies["write"])
+                    if latencies["write"] else 0.0,
+            },
+        )

@@ -1,0 +1,247 @@
+"""E-commerce domain workloads: collaborative filtering and naive Bayes.
+
+BigDataBench's e-commerce domain (Table 2): item-based collaborative
+filtering over purchase history and naive Bayes text classification, both
+implemented as MapReduce pipelines.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from typing import Any
+
+from repro.core.errors import ExecutionError
+from repro.core.operations import operations
+from repro.core.patterns import MultiOperationPattern, SingleOperationPattern
+from repro.datagen.base import DataSet, DataType
+from repro.datagen.corpus import TOPIC_VOCABULARIES
+from repro.datagen.text import tokenize
+from repro.engines.mapreduce import JobConf, MapReduceEngine, MapReduceJob
+from repro.workloads.base import (
+    ApplicationDomain,
+    Workload,
+    WorkloadCategory,
+    WorkloadResult,
+)
+
+
+def _column_positions(dataset: DataSet, *suffixes: str) -> list[int]:
+    """Positions of the columns whose names end with each suffix."""
+    schema = dataset.metadata.get("schema")
+    if schema is None:
+        raise ExecutionError(
+            f"data set {dataset.name!r} has no schema metadata"
+        )
+    positions = []
+    for suffix in suffixes:
+        matches = [i for i, name in enumerate(schema) if name.endswith(suffix)]
+        if not matches:
+            raise ExecutionError(
+                f"data set {dataset.name!r} has no column ending in {suffix!r}"
+            )
+        positions.append(matches[0])
+    return positions
+
+
+class CollaborativeFilteringWorkload(Workload):
+    """Item-based CF: recommend items that co-occur in purchase baskets.
+
+    Two chained MapReduce jobs — (1) group purchases per customer,
+    (2) count item co-occurrences — followed by a top-N selection per
+    item.  This is the CF representative in BigDataBench's e-commerce
+    domain.
+    """
+
+    name = "collaborative-filtering"
+    domain = ApplicationDomain.E_COMMERCE
+    category = WorkloadCategory.OFFLINE_ANALYTICS
+    data_type = DataType.TABLE
+    abstract_operations = tuple(operations("recommend"))
+    pattern = SingleOperationPattern(operations("recommend")[0])
+
+    def run_mapreduce(
+        self,
+        engine: MapReduceEngine,
+        dataset: DataSet,
+        top_n: int = 5,
+        **params: Any,
+    ) -> WorkloadResult:
+        customer_position, product_position = _column_positions(
+            dataset, "customer_id", "product_id"
+        )
+
+        def basket_map(row_id: int, row: tuple):
+            yield row[customer_position], row[product_position]
+
+        def basket_reduce(customer: Any, products: list[Any]):
+            yield customer, sorted(set(products))
+
+        basket_job = MapReduceJob(
+            "cf-baskets", basket_map, basket_reduce, conf=JobConf(sort_keys=False)
+        )
+        baskets = engine.run(basket_job, list(enumerate(dataset.records)))
+
+        def cooccur_map(customer: Any, products: list[Any]):
+            for index, left in enumerate(products):
+                for right in products[index + 1 :]:
+                    yield (left, right), 1
+                    yield (right, left), 1
+
+        def cooccur_reduce(pair: tuple, counts: list[int]):
+            yield pair, sum(counts)
+
+        cooccur_job = MapReduceJob(
+            "cf-cooccurrence",
+            cooccur_map,
+            cooccur_reduce,
+            combiner=cooccur_reduce,
+            conf=JobConf(sort_keys=False),
+        )
+        cooccurrence = engine.run(cooccur_job, baskets.output)
+
+        neighbours: dict[Any, list[tuple[int, Any]]] = defaultdict(list)
+        for (left, right), count in cooccurrence.output:
+            neighbours[left].append((count, right))
+        recommendations = {
+            item: [
+                other
+                for _, other in sorted(pairs, key=lambda p: (-p[0], str(p[1])))[:top_n]
+            ]
+            for item, pairs in neighbours.items()
+        }
+
+        total_cost = baskets.cost.merge(cooccurrence.cost)
+        return WorkloadResult(
+            workload=self.name,
+            engine=engine.name,
+            output=recommendations,
+            records_in=dataset.num_records,
+            records_out=len(recommendations),
+            duration_seconds=baskets.wall_seconds + cooccurrence.wall_seconds,
+            cost=total_cost,
+            simulated_seconds=baskets.simulated_seconds
+            + cooccurrence.simulated_seconds,
+            extra={"pairs_counted": len(cooccurrence.output)},
+        )
+
+
+def label_document(text: str) -> str:
+    """Topic label of a document from vocabulary overlap.
+
+    Documents are labelled with the embedded topic whose vocabulary they
+    overlap most — the ground-truth oracle for naive Bayes evaluation on
+    generated corpora (DESIGN.md §2 substitution for labelled data).
+    """
+    tokens = Counter(tokenize(text))
+    best_topic = ""
+    best_overlap = -1
+    for topic in sorted(TOPIC_VOCABULARIES):
+        overlap = sum(tokens[word] for word in TOPIC_VOCABULARIES[topic])
+        if overlap > best_overlap:
+            best_topic = topic
+            best_overlap = overlap
+    return best_topic
+
+
+class NaiveBayesWorkload(Workload):
+    """Multinomial naive Bayes text classification (train + evaluate).
+
+    Training word/label counts run as a MapReduce job; classification of
+    the held-out half runs as a map-only job against the trained model.
+    Reports accuracy alongside the usual performance evidence.
+    """
+
+    name = "naive-bayes"
+    domain = ApplicationDomain.E_COMMERCE
+    category = WorkloadCategory.OFFLINE_ANALYTICS
+    data_type = DataType.TEXT
+    abstract_operations = tuple(operations("transform", "classify"))
+    pattern = MultiOperationPattern(operations("transform", "classify"))
+
+    def run_mapreduce(
+        self,
+        engine: MapReduceEngine,
+        dataset: DataSet,
+        train_fraction: float = 0.5,
+        smoothing: float = 1.0,
+        **params: Any,
+    ) -> WorkloadResult:
+        if not 0.0 < train_fraction < 1.0:
+            raise ExecutionError(
+                f"train_fraction must be in (0, 1), got {train_fraction}"
+            )
+        documents = [(text, label_document(text)) for text in dataset.records]
+        split = max(1, int(len(documents) * train_fraction))
+        training, testing = documents[:split], documents[split:]
+        if not testing:
+            raise ExecutionError("not enough documents to hold out a test set")
+
+        def count_map(doc_id: int, item: tuple[str, str]):
+            text, label = item
+            yield ("__label__", label), 1
+            for token in tokenize(text):
+                yield (label, token), 1
+
+        def count_reduce(key: tuple, counts: list[int]):
+            yield key, sum(counts)
+
+        train_job = MapReduceJob(
+            "nb-train", count_map, count_reduce, combiner=count_reduce,
+            conf=JobConf(sort_keys=False),
+        )
+        trained = engine.run(train_job, list(enumerate(training)))
+
+        label_counts: Counter[str] = Counter()
+        word_counts: dict[str, Counter[str]] = defaultdict(Counter)
+        vocabulary: set[str] = set()
+        for (label, token), count in trained.output:
+            if label == "__label__":
+                label_counts[token] += count
+            else:
+                word_counts[label][token] += count
+                vocabulary.add(token)
+        total_docs = sum(label_counts.values())
+        label_totals = {
+            label: sum(counts.values()) for label, counts in word_counts.items()
+        }
+
+        def classify(text: str) -> str:
+            tokens = tokenize(text)
+            best_label, best_score = "", -math.inf
+            for label in sorted(label_counts):
+                prior = math.log(label_counts[label] / total_docs)
+                denominator = label_totals.get(label, 0) + smoothing * len(vocabulary)
+                score = prior
+                for token in tokens:
+                    numerator = word_counts[label][token] + smoothing
+                    score += math.log(numerator / denominator)
+                if score > best_score:
+                    best_label, best_score = label, score
+            return best_label
+
+        def classify_map(doc_id: int, item: tuple[str, str]):
+            text, truth = item
+            yield doc_id, (classify(text), truth)
+
+        test_job = MapReduceJob(
+            "nb-classify", classify_map, conf=JobConf(sort_keys=False)
+        )
+        tested = engine.run(test_job, list(enumerate(testing)))
+        correct = sum(
+            1 for _, (predicted, truth) in tested.output if predicted == truth
+        )
+        accuracy = correct / len(tested.output)
+
+        total_cost = trained.cost.merge(tested.cost)
+        return WorkloadResult(
+            workload=self.name,
+            engine=engine.name,
+            output={"accuracy": accuracy, "labels": sorted(label_counts)},
+            records_in=dataset.num_records,
+            records_out=len(tested.output),
+            duration_seconds=trained.wall_seconds + tested.wall_seconds,
+            cost=total_cost,
+            simulated_seconds=trained.simulated_seconds + tested.simulated_seconds,
+            extra={"accuracy": accuracy, "vocabulary": len(vocabulary)},
+        )

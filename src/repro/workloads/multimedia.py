@@ -1,0 +1,108 @@
+"""Multimedia workload: image classification (Section 5.2 gap).
+
+"There are still many important big data systems such as multimedia
+systems … not being considered."  This workload is the multimedia
+representative: feature extraction over an image set as a map phase,
+per-class centroid training as a reduce, and nearest-centroid
+classification of a held-out half — the classic bag-of-features
+multimedia analytics pipeline on the MapReduce substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.errors import ExecutionError
+from repro.core.operations import operations
+from repro.core.patterns import MultiOperationPattern
+from repro.datagen.base import DataSet, DataType
+from repro.datagen.media import image_features
+from repro.engines.mapreduce import JobConf, MapReduceEngine, MapReduceJob
+from repro.workloads.base import (
+    ApplicationDomain,
+    Workload,
+    WorkloadCategory,
+    WorkloadResult,
+)
+
+
+class ImageClassificationWorkload(Workload):
+    """Feature extraction + nearest-centroid image classification."""
+
+    name = "image-classification"
+    domain = ApplicationDomain.MULTIMEDIA
+    category = WorkloadCategory.OFFLINE_ANALYTICS
+    data_type = DataType.IMAGE
+    abstract_operations = tuple(operations("transform", "classify"))
+    pattern = MultiOperationPattern(operations("transform", "classify"))
+
+    def run_mapreduce(
+        self,
+        engine: MapReduceEngine,
+        dataset: DataSet,
+        train_fraction: float = 0.5,
+        **params: Any,
+    ) -> WorkloadResult:
+        if not 0.0 < train_fraction < 1.0:
+            raise ExecutionError(
+                f"train_fraction must be in (0, 1), got {train_fraction}"
+            )
+        records = dataset.records
+        split = max(1, int(len(records) * train_fraction))
+        training, testing = records[:split], records[split:]
+        if not testing:
+            raise ExecutionError("not enough images to hold out a test set")
+
+        # Job 1: extract features and accumulate per-class centroids.
+        def feature_map(image_id: int, record: tuple):
+            image, label = record
+            yield label, image_features(image)
+
+        def centroid_reduce(label: int, features: list[np.ndarray]):
+            yield label, np.mean(features, axis=0)
+
+        train_job = MapReduceJob(
+            "image-train", feature_map, centroid_reduce,
+            conf=JobConf(sort_keys=False),
+        )
+        trained = engine.run(train_job, list(enumerate(training)))
+        centroids = dict(trained.output)
+        if not centroids:
+            raise ExecutionError("training produced no class centroids")
+
+        # Job 2: classify held-out images by nearest centroid (map only).
+        def classify_map(image_id: int, record: tuple):
+            image, truth = record
+            features = image_features(image)
+            best = min(
+                centroids,
+                key=lambda label: float(
+                    np.linalg.norm(features - centroids[label])
+                ),
+            )
+            yield image_id, (best, truth)
+
+        test_job = MapReduceJob(
+            "image-classify", classify_map, conf=JobConf(sort_keys=False)
+        )
+        tested = engine.run(test_job, list(enumerate(testing)))
+        correct = sum(
+            1 for _, (predicted, truth) in tested.output if predicted == truth
+        )
+        accuracy = correct / len(tested.output)
+
+        total_cost = trained.cost.merge(tested.cost)
+        return WorkloadResult(
+            workload=self.name,
+            engine=engine.name,
+            output={"accuracy": accuracy, "classes": sorted(centroids)},
+            records_in=dataset.num_records,
+            records_out=len(tested.output),
+            duration_seconds=trained.wall_seconds + tested.wall_seconds,
+            cost=total_cost,
+            simulated_seconds=trained.simulated_seconds
+            + tested.simulated_seconds,
+            extra={"accuracy": accuracy},
+        )

@@ -1,0 +1,123 @@
+"""Tests for the heterogeneous platform evaluation (Section 5.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import MetricError
+from repro.core.platforms import (
+    ACCELERABLE_FRACTIONS,
+    STANDARD_PLATFORMS,
+    PlatformEvaluation,
+    PlatformSpec,
+    accelerable_fraction,
+    project,
+)
+from repro.engines.base import CostCounters
+from repro.workloads.base import WorkloadResult
+
+
+def make_result(workload: str, seconds: float) -> WorkloadResult:
+    return WorkloadResult(
+        workload=workload, engine="mapreduce", output=None,
+        records_in=100, records_out=100,
+        duration_seconds=seconds, cost=CostCounters(),
+        simulated_seconds=seconds,
+    )
+
+
+CPU, GPU, MIC = STANDARD_PLATFORMS
+
+
+class TestProjection:
+    def test_cpu_projection_is_identity(self):
+        result = make_result("sort", 10.0)
+        projection = project(result, CPU)
+        assert projection.seconds == pytest.approx(10.0)
+
+    def test_amdahl_limit(self):
+        """Speedup can never exceed 1/(1-f)."""
+        result = make_result("kmeans", 10.0)
+        projection = project(result, GPU)
+        fraction = accelerable_fraction("kmeans")
+        assert projection.seconds >= 10.0 * (1 - fraction)
+        assert projection.seconds < 10.0
+
+    def test_fully_serial_workload_gains_nothing(self):
+        result = make_result("anything", 5.0)
+        projection = project(result, GPU, fraction=0.0)
+        assert projection.seconds == pytest.approx(5.0)
+
+    def test_fully_parallel_workload_gets_full_speedup(self):
+        result = make_result("anything", 12.0)
+        projection = project(result, GPU, fraction=1.0)
+        assert projection.seconds == pytest.approx(1.0)
+
+    def test_energy_is_power_times_time(self):
+        result = make_result("sort", 2.0)
+        projection = project(result, CPU)
+        assert projection.energy_joules == pytest.approx(2.0 * 130.0)
+
+    def test_invalid_fraction_rejected(self):
+        result = make_result("sort", 1.0)
+        with pytest.raises(MetricError):
+            project(result, GPU, fraction=1.5)
+
+    def test_zero_time_rejected(self):
+        with pytest.raises(MetricError):
+            project(make_result("sort", 0.0), CPU)
+
+    def test_declared_fractions_are_valid(self):
+        for name, fraction in ACCELERABLE_FRACTIONS.items():
+            assert 0.0 <= fraction <= 1.0, name
+
+    def test_unknown_workload_gets_default(self):
+        assert accelerable_fraction("brand-new-workload") == 0.2
+
+
+class TestEvaluation:
+    def _evaluation(self) -> PlatformEvaluation:
+        evaluation = PlatformEvaluation()
+        evaluation.add(make_result("kmeans", 10.0))
+        evaluation.add(make_result("grep", 10.0))
+        return evaluation
+
+    def test_paper_question_one_answer_is_none(self):
+        assert self._evaluation().consistent_winner() is None
+
+    def test_dense_numeric_prefers_accelerator(self):
+        evaluation = self._evaluation()
+        assert evaluation.best_performance("kmeans").platform == "Xeon+GPGPU"
+
+    def test_irregular_prefers_cpu_on_energy(self):
+        evaluation = self._evaluation()
+        assert evaluation.best_energy("grep").platform == "Xeon (CPU only)"
+
+    def test_recommendations_cover_all_workloads(self):
+        recommendations = self._evaluation().per_class_recommendation()
+        assert set(recommendations) == {"kmeans", "grep"}
+        for picks in recommendations.values():
+            assert {"performance", "energy"} == set(picks)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(MetricError):
+            self._evaluation().best_performance("nope")
+
+    def test_consistent_winner_when_one_platform_dominates(self):
+        """With a free accelerator (no extra watts), the GPU platform
+        would win both metrics everywhere — the evaluation must detect
+        that hypothetical too."""
+        free_gpu = (
+            CPU,
+            PlatformSpec("FreeGPU", accelerator_speedup=10.0,
+                         host_watts=130.0, accelerator_watts=0.0),
+        )
+        evaluation = PlatformEvaluation()
+        evaluation.add(make_result("kmeans", 10.0), platforms=free_gpu)
+        evaluation.add(make_result("grep", 10.0), platforms=free_gpu)
+        assert evaluation.consistent_winner() == "FreeGPU"
+
+    def test_rows_shape(self):
+        rows = self._evaluation().rows()
+        assert len(rows) == 2 * len(STANDARD_PLATFORMS)
+        assert {"workload", "platform", "seconds", "energy (J)"} == set(rows[0])

@@ -1,0 +1,131 @@
+"""Tests for prescription serialization (the shareable repository)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro  # noqa: F401 - triggers default registration
+from repro.core.errors import TestGenerationError
+from repro.core.patterns import (
+    ConvergenceCondition,
+    FixedIterations,
+    IterativeOperationPattern,
+    MultiOperationPattern,
+    SingleOperationPattern,
+)
+from repro.core.prescription import builtin_repository
+from repro.core.serialization import (
+    pattern_from_dict,
+    pattern_to_dict,
+    prescription_from_dict,
+    prescription_to_dict,
+    repository_from_json,
+    repository_to_json,
+)
+from repro.core.test_generator import TestGenerator
+
+
+class TestPatternRoundtrip:
+    def test_single_operation(self):
+        from repro.core.operations import operation
+
+        pattern = SingleOperationPattern(operation("sort"))
+        restored = pattern_from_dict(pattern_to_dict(pattern))
+        assert isinstance(restored, SingleOperationPattern)
+        assert restored.operation.name == "sort"
+
+    def test_multi_operation_preserves_order(self):
+        from repro.core.operations import operations
+
+        pattern = MultiOperationPattern(operations("select", "join", "sort"))
+        restored = pattern_from_dict(pattern_to_dict(pattern))
+        assert [op.name for op in restored.operations] == [
+            "select", "join", "sort",
+        ]
+
+    def test_iterative_fixed(self):
+        from repro.core.operations import operations
+
+        pattern = IterativeOperationPattern(
+            operations("rank"), FixedIterations(7)
+        )
+        restored = pattern_from_dict(pattern_to_dict(pattern))
+        assert isinstance(restored.stopping_condition, FixedIterations)
+        assert restored.stopping_condition.count == 7
+
+    def test_iterative_convergence(self):
+        from repro.core.operations import operations
+
+        pattern = IterativeOperationPattern(
+            operations("cluster"),
+            ConvergenceCondition(tolerance=0.01, max_iterations=12),
+        )
+        restored = pattern_from_dict(pattern_to_dict(pattern))
+        condition = restored.stopping_condition
+        assert isinstance(condition, ConvergenceCondition)
+        assert condition.tolerance == 0.01
+        assert condition.max_iterations == 12
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TestGenerationError):
+            pattern_from_dict({"kind": "spiral"})
+
+
+class TestPrescriptionRoundtrip:
+    def test_every_builtin_roundtrips(self):
+        repository = builtin_repository()
+        for name in repository.names():
+            original = repository.get(name)
+            restored = prescription_from_dict(prescription_to_dict(original))
+            assert restored.name == original.name
+            assert restored.domain == original.domain
+            assert restored.workload == original.workload
+            assert restored.data == original.data
+            assert [op.name for op in restored.operations] == [
+                op.name for op in original.operations
+            ]
+            assert restored.pattern.pattern_name == original.pattern.pattern_name
+            assert restored.metric_names == original.metric_names
+            assert restored.params == original.params
+
+    def test_payload_is_plain_json(self):
+        repository = builtin_repository()
+        payload = prescription_to_dict(repository.get("search-pagerank"))
+        json.dumps(payload)  # must not raise
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(TestGenerationError):
+            prescription_from_dict({"name": "incomplete"})
+
+
+class TestRepositoryRoundtrip:
+    def test_full_repository_roundtrip(self):
+        original = builtin_repository()
+        restored = repository_from_json(repository_to_json(original))
+        assert restored.names() == original.names()
+
+    def test_restored_prescription_is_runnable(self):
+        """The §5.2 point: a shared prescription file produces a working
+        prescribed test."""
+        text = repository_to_json(builtin_repository())
+        restored = repository_from_json(text)
+        generator = TestGenerator(repository=restored)
+        result = generator.generate("micro-wordcount", "mapreduce", 20).run()
+        assert result.records_in == 20
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(TestGenerationError):
+            repository_from_json("{not json")
+
+    def test_non_list_rejected(self):
+        with pytest.raises(TestGenerationError):
+            repository_from_json('{"a": 1}')
+
+    def test_unknown_data_type_rejected(self):
+        repository = builtin_repository()
+        payload = prescription_to_dict(repository.get("micro-sort"))
+        payload["data"]["data_type"] = "hologram"
+        with pytest.raises(TestGenerationError):
+            prescription_from_dict(payload)

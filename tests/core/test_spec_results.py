@@ -1,0 +1,129 @@
+"""Tests for benchmark specs and result aggregation/analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro  # noqa: F401 - triggers default registration
+from repro.core.errors import MetricError, SpecError
+from repro.core.prescription import builtin_repository
+from repro.core.results import MetricStats, ResultAnalyzer, RunResult
+from repro.core.spec import BenchmarkSpec
+from repro.engines.base import CostCounters
+from repro.workloads.base import WorkloadResult
+
+
+@pytest.fixture(scope="module")
+def repository():
+    return builtin_repository()
+
+
+class TestBenchmarkSpec:
+    def test_valid_spec_passes(self, repository):
+        BenchmarkSpec("micro-wordcount", repeats=2).validate(repository)
+
+    def test_unknown_prescription(self, repository):
+        with pytest.raises(SpecError):
+            BenchmarkSpec("nope").validate(repository)
+
+    def test_negative_volume(self, repository):
+        with pytest.raises(SpecError):
+            BenchmarkSpec("micro-sort", volume=-5).validate(repository)
+
+    def test_zero_repeats(self, repository):
+        with pytest.raises(SpecError):
+            BenchmarkSpec("micro-sort", repeats=0).validate(repository)
+
+    def test_zero_partitions(self, repository):
+        with pytest.raises(SpecError):
+            BenchmarkSpec("micro-sort", data_partitions=0).validate(repository)
+
+    def test_unknown_engine(self, repository):
+        with pytest.raises(SpecError):
+            BenchmarkSpec("micro-sort", engines=["spark"]).validate(repository)
+
+    def test_unsupported_engine(self, repository):
+        with pytest.raises(SpecError):
+            BenchmarkSpec("micro-sort", engines=["dbms"]).validate(repository)
+
+    def test_resolved_engines_default_to_supported(self, repository):
+        spec = BenchmarkSpec("database-aggregate-join")
+        assert sorted(spec.resolved_engines(repository)) == ["dbms", "mapreduce"]
+
+    def test_resolved_engines_honours_explicit_list(self, repository):
+        spec = BenchmarkSpec("database-aggregate-join", engines=["dbms"])
+        assert spec.resolved_engines(repository) == ["dbms"]
+
+
+def make_workload_result(duration: float, engine: str = "mapreduce") -> WorkloadResult:
+    return WorkloadResult(
+        workload="wl", engine=engine, output=None,
+        records_in=100, records_out=100,
+        duration_seconds=duration,
+        cost=CostCounters(compute_ops=1000),
+    )
+
+
+class TestRunResult:
+    def test_from_workload_results_aggregates(self):
+        result = RunResult.from_workload_results(
+            "t", [make_workload_result(1.0), make_workload_result(3.0)]
+        )
+        assert result.repeats == 2
+        assert result.mean("duration") == pytest.approx(2.0)
+        assert result.metric("duration").minimum == 1.0
+        assert result.metric("duration").maximum == 3.0
+
+    def test_empty_runs_rejected(self):
+        with pytest.raises(MetricError):
+            RunResult.from_workload_results("t", [])
+
+    def test_unknown_metric_rejected(self):
+        result = RunResult.from_workload_results("t", [make_workload_result(1.0)])
+        with pytest.raises(MetricError):
+            result.metric("tps")
+
+    def test_stats_stdev(self):
+        stats = MetricStats("m", [1.0, 3.0])
+        assert stats.stdev == pytest.approx(1.4142, rel=1e-3)
+        assert MetricStats("m", [1.0]).stdev == 0.0
+
+
+class TestResultAnalyzer:
+    def _results(self):
+        fast = RunResult.from_workload_results(
+            "t@dbms", [make_workload_result(1.0, "dbms")]
+        )
+        slow = RunResult.from_workload_results(
+            "t@mapreduce", [make_workload_result(4.0, "mapreduce")]
+        )
+        return [fast, slow]
+
+    def test_ranking_lower_is_better(self):
+        analyzer = ResultAnalyzer(self._results())
+        ranked = analyzer.ranking("duration", higher_is_better=False)
+        assert [result.engine for result in ranked] == ["dbms", "mapreduce"]
+
+    def test_speedup_relative_to_baseline(self):
+        analyzer = ResultAnalyzer(self._results())
+        factors = analyzer.speedup(
+            "duration", baseline_engine="mapreduce", higher_is_better=False
+        )
+        assert factors["dbms"] == pytest.approx(4.0)
+        assert factors["mapreduce"] == pytest.approx(1.0)
+
+    def test_speedup_unknown_baseline(self):
+        analyzer = ResultAnalyzer(self._results())
+        with pytest.raises(MetricError):
+            analyzer.speedup("duration", baseline_engine="spark")
+
+    def test_by_engine_groups(self):
+        analyzer = ResultAnalyzer(self._results())
+        assert set(analyzer.by_engine()) == {"dbms", "mapreduce"}
+
+    def test_summary_rows(self):
+        analyzer = ResultAnalyzer(self._results())
+        rows = analyzer.summary_rows(["duration", "missing"])
+        assert len(rows) == 2
+        assert "duration" in rows[0]
+        assert "missing" not in rows[0]

@@ -1,0 +1,107 @@
+"""Tests for the semi-structured resume generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import GenerationError
+from repro.datagen.base import DataType, StructureClass
+from repro.datagen.resume import (
+    EDUCATION_LEVELS,
+    SKILL_CLUSTERS,
+    ResumeGenerator,
+    cluster_cohesion,
+    skill_cooccurrence,
+)
+
+
+class TestResumeGenerator:
+    def test_semi_structured_data_type(self):
+        dataset = ResumeGenerator(seed=1).generate(10)
+        assert dataset.data_type is DataType.RESUME
+        assert dataset.structure is StructureClass.SEMI_STRUCTURED
+
+    def test_record_shape(self):
+        for resume in ResumeGenerator(seed=2).generate(20).records:
+            assert set(resume) == {"person_id", "name", "education",
+                                   "experience_years", "skills", "summary"}
+            assert resume["education"] in EDUCATION_LEVELS
+            assert 0 <= resume["experience_years"] < 25
+            assert resume["summary"]
+
+    def test_skills_come_from_known_clusters(self):
+        all_skills = {
+            skill for skills in SKILL_CLUSTERS.values() for skill in skills
+        }
+        for resume in ResumeGenerator(seed=3).generate(30).records:
+            assert set(resume["skills"]) <= all_skills
+            assert len(resume["skills"]) == 5
+
+    def test_skill_count_configurable(self):
+        resumes = ResumeGenerator(skills_per_resume=3, seed=4).generate(10)
+        assert all(len(r["skills"]) == 3 for r in resumes.records)
+
+    def test_person_ids_unique_across_partitions(self):
+        dataset = ResumeGenerator(seed=5).generate_parallel(40, 4)
+        ids = [resume["person_id"] for resume in dataset.records]
+        assert sorted(ids) == list(range(40))
+
+    def test_clustered_skills_are_cohesive(self):
+        """Skills must co-occur within clusters far above chance."""
+        resumes = ResumeGenerator(
+            cross_cluster_probability=0.1, seed=6
+        ).generate(150).records
+        assert cluster_cohesion(resumes) > 0.6
+
+    def test_cross_cluster_knob_lowers_cohesion(self):
+        tight = ResumeGenerator(
+            cross_cluster_probability=0.0, seed=7
+        ).generate(100).records
+        loose = ResumeGenerator(
+            cross_cluster_probability=0.9, seed=7
+        ).generate(100).records
+        assert cluster_cohesion(tight) > cluster_cohesion(loose)
+        assert cluster_cohesion(tight) == 1.0
+
+    def test_fitted_text_model_supplies_summaries(self, fitted_lda):
+        resumes = ResumeGenerator(
+            text_generator=fitted_lda, seed=8
+        ).generate(10).records
+        vocabulary = set(fitted_lda.model.vocabulary.words)
+        for resume in resumes:
+            tokens = resume["summary"].split()
+            assert tokens
+            assert set(tokens) <= vocabulary
+
+    def test_unfitted_text_model_rejected(self):
+        from repro.datagen.text import UnigramTextGenerator
+
+        with pytest.raises(GenerationError):
+            ResumeGenerator(text_generator=UnigramTextGenerator())
+
+    def test_validation(self):
+        with pytest.raises(GenerationError):
+            ResumeGenerator(skills_per_resume=0)
+        with pytest.raises(GenerationError):
+            ResumeGenerator(cross_cluster_probability=1.5)
+
+    def test_cooccurrence_counts(self):
+        resumes = [{"skills": ["a", "b", "c"]}, {"skills": ["a", "b"]}]
+        counts = skill_cooccurrence(resumes)
+        assert counts[("a", "b")] == 2
+        assert counts[("a", "c")] == 1
+
+    def test_cohesion_empty(self):
+        assert cluster_cohesion([]) == 0.0
+
+    def test_jsonl_conversion(self):
+        """Resumes flow through the semi-structured exchange format."""
+        import json
+
+        from repro.datagen.formats import convert
+
+        dataset = ResumeGenerator(seed=9).generate(5)
+        lines = convert(dataset, "jsonl").payload
+        first = json.loads(lines[0])
+        assert first["person_id"] == 0
+        assert isinstance(first["skills"], list)

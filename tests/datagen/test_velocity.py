@@ -1,0 +1,164 @@
+"""Tests for velocity control (parallel generation, updates, pacing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import GenerationError
+from repro.datagen.stream import EventKind, PoissonArrivals, StreamGenerator
+from repro.datagen.text import RandomTextGenerator
+from repro.datagen.velocity import (
+    PacedStream,
+    ParallelGenerationController,
+    UpdateScheduler,
+    VelocityReport,
+)
+
+
+class TestParallelGenerationController:
+    def test_output_volume(self):
+        controller = ParallelGenerationController(
+            RandomTextGenerator(seed=1), num_partitions=4
+        )
+        dataset, report = controller.run(101)
+        assert dataset.num_records == 101
+        assert report.volume == 101
+
+    def test_same_records_as_generate_parallel(self):
+        generator = RandomTextGenerator(seed=2)
+        controller = ParallelGenerationController(generator, num_partitions=3)
+        dataset, _ = controller.run(30)
+        assert dataset.records == generator.generate_parallel(30, 3).records
+
+    def test_simulated_speedup_grows_with_partitions(self):
+        """The E8 shape: more generators → higher simulated rate."""
+        speedups = []
+        for partitions in (1, 4):
+            controller = ParallelGenerationController(
+                RandomTextGenerator(document_length=200, seed=3),
+                num_partitions=partitions,
+            )
+            _, report = controller.run(400)
+            speedups.append(report.speedup)
+        assert speedups[1] > speedups[0] * 1.5
+
+    def test_partition_seconds_recorded(self):
+        controller = ParallelGenerationController(
+            RandomTextGenerator(seed=4), num_partitions=5
+        )
+        _, report = controller.run(50)
+        assert len(report.partition_seconds) == 5
+        assert report.serial_seconds >= report.simulated_parallel_seconds
+
+    def test_invalid_partitions(self):
+        with pytest.raises(GenerationError):
+            ParallelGenerationController(RandomTextGenerator(), num_partitions=0)
+
+    def test_threaded_mode_matches_serial_output(self):
+        generator = RandomTextGenerator(seed=5)
+        serial, _ = ParallelGenerationController(generator, 4).run(40)
+        threaded, _ = ParallelGenerationController(
+            generator, 4, use_threads=True
+        ).run(40)
+        assert serial.records == threaded.records
+
+    def test_report_rates(self):
+        report = VelocityReport(
+            volume=100, num_partitions=2,
+            partition_seconds=[1.0, 1.0], wall_seconds=2.0,
+        )
+        assert report.wall_rate == pytest.approx(50.0)
+        assert report.simulated_rate == pytest.approx(100.0)
+        assert report.speedup == pytest.approx(2.0)
+
+
+class TestUpdateScheduler:
+    def test_plan_hits_target_frequency(self):
+        scheduler = UpdateScheduler(updates_per_second=100.0, seed=1)
+        events = scheduler.plan(duration_seconds=5.0, key_space=50)
+        assert len(events) == 500
+        assert all(0 <= event.timestamp <= 5.0 for event in events)
+
+    def test_plan_is_time_ordered(self):
+        events = UpdateScheduler(50.0, seed=2).plan(2.0, key_space=10)
+        timestamps = [event.timestamp for event in events]
+        assert timestamps == sorted(timestamps)
+
+    def test_mix_fractions(self):
+        scheduler = UpdateScheduler(
+            1000.0, update_fraction=0.6, delete_fraction=0.2, seed=3
+        )
+        events = scheduler.plan(2.0, key_space=100)
+        kinds = [event.kind for event in events]
+        assert kinds.count(EventKind.UPDATE) / len(kinds) == pytest.approx(
+            0.6, abs=0.05
+        )
+
+    def test_apply_mutates_state(self):
+        scheduler = UpdateScheduler(
+            100.0, update_fraction=0.0, delete_fraction=0.0, seed=4
+        )
+        events = scheduler.plan(1.0, key_space=20)
+        state: dict[int, float] = {}
+        counts = UpdateScheduler.apply(state, events)
+        assert counts["insert"] == len(events)
+        assert len(state) <= 20
+
+    def test_apply_delete_removes_keys(self):
+        from repro.datagen.stream import StreamEvent
+
+        state = {1: 0.5}
+        events = [StreamEvent(0.0, 1, 0.0, EventKind.DELETE)]
+        counts = UpdateScheduler.apply(state, events)
+        assert counts["delete"] == 1
+        assert 1 not in state
+
+    def test_validation(self):
+        with pytest.raises(GenerationError):
+            UpdateScheduler(0.0)
+        with pytest.raises(GenerationError):
+            UpdateScheduler(1.0, update_fraction=0.9, delete_fraction=0.3)
+        with pytest.raises(GenerationError):
+            UpdateScheduler(1.0).plan(0.0, key_space=1)
+        with pytest.raises(GenerationError):
+            UpdateScheduler(1.0).plan(1.0, key_space=0)
+
+
+class TestPacedStream:
+    def _events(self, rate: float, count: int):
+        generator = StreamGenerator(arrivals=PoissonArrivals(rate), seed=5)
+        return generator.generate(count).records
+
+    def test_pacing_caps_delivery_rate(self):
+        events = self._events(rate=10000.0, count=800)
+        paced = PacedStream(events, target_rate=100.0)
+        assert paced.delivered_rate() <= 101.0
+
+    def test_slow_stream_passes_through(self):
+        events = self._events(rate=50.0, count=400)
+        paced = PacedStream(events, target_rate=10000.0)
+        # Delivery should track the (slow) source, not the high cap.
+        assert paced.delivered_rate() == pytest.approx(50.0, rel=0.15)
+
+    def test_delivery_never_before_event_time(self):
+        events = self._events(rate=100.0, count=100)
+        for delivery, event in PacedStream(events, target_rate=200.0):
+            assert delivery >= event.timestamp
+
+    def test_real_time_mode_sleeps(self):
+        sleeps: list[float] = []
+        events = self._events(rate=10000.0, count=10)
+        paced = PacedStream(
+            events, target_rate=1000.0, real_time=True, sleep=sleeps.append
+        )
+        list(paced)
+        assert sleeps  # pacing had to wait at least once
+
+    def test_invalid_rate(self):
+        with pytest.raises(GenerationError):
+            PacedStream([], target_rate=0.0)
+
+    def test_rate_requires_two_events(self):
+        events = self._events(rate=100.0, count=1)
+        with pytest.raises(GenerationError):
+            PacedStream(events, target_rate=10.0).delivered_rate()

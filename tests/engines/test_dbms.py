@@ -1,0 +1,370 @@
+"""Tests for the relational engine: storage, expressions, planner, API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import EngineError
+from repro.engines.dbms import (
+    Aggregate,
+    DbmsEngine,
+    PlannerConfig,
+    col,
+    lit,
+)
+from repro.engines.dbms.storage import HeapTable, SortedIndex
+
+
+@pytest.fixture()
+def people_db():
+    engine = DbmsEngine()
+    engine.create_table("people", ("id", "name", "age", "city"))
+    engine.insert(
+        "people",
+        [
+            (1, "ann", 30, "rome"),
+            (2, "bob", 25, "oslo"),
+            (3, "cat", 35, "rome"),
+            (4, "dan", 25, "kiev"),
+            (5, "eve", 40, "oslo"),
+        ],
+    )
+    return engine
+
+
+class TestSortedIndex:
+    def test_lookup(self):
+        index = SortedIndex("c")
+        index.build([(5, 0), (3, 1), (5, 2)])
+        assert sorted(index.lookup(5)) == [0, 2]
+        assert index.lookup(4) == []
+
+    def test_insert_and_remove(self):
+        index = SortedIndex("c")
+        index.insert(7, 0)
+        index.insert(7, 1)
+        index.remove(7, 0)
+        assert index.lookup(7) == [1]
+
+    def test_range_scan(self):
+        index = SortedIndex("c")
+        index.build([(i, i) for i in range(10)])
+        assert index.range_scan(3, 6) == [3, 4, 5, 6]
+        assert index.range_scan(None, 2) == [0, 1, 2]
+        assert index.range_scan(8, None) == [8, 9]
+
+    def test_mixed_types_stay_ordered(self):
+        index = SortedIndex("c")
+        index.build([("zebra", 0), (5, 1), ("apple", 2), (1, 3)])
+        # Numbers rank before strings; within ranks, natural order.
+        assert index.range_scan() == [3, 1, 2, 0]
+
+
+class TestHeapTable:
+    def test_insert_and_scan(self):
+        table = HeapTable("t", ("a", "b"))
+        table.insert((1, "x"))
+        table.insert((2, "y"))
+        assert list(table.scan()) == [(1, "x"), (2, "y")]
+        assert len(table) == 2
+
+    def test_width_mismatch_rejected(self):
+        table = HeapTable("t", ("a",))
+        with pytest.raises(EngineError):
+            table.insert((1, 2))
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(EngineError):
+            HeapTable("t", ("a", "a"))
+
+    def test_delete_tombstones_rows(self):
+        table = HeapTable("t", ("a",))
+        row_id = table.insert((1,))
+        table.insert((2,))
+        table.delete_row(row_id)
+        assert list(table.scan()) == [(2,)]
+        with pytest.raises(EngineError):
+            table.fetch(row_id)
+
+    def test_update_maintains_index(self):
+        table = HeapTable("t", ("a", "b"))
+        row_id = table.insert((1, "x"))
+        table.create_index("a")
+        table.update_row(row_id, {"a": 9})
+        assert table.indexes["a"].lookup(9) == [row_id]
+        assert table.indexes["a"].lookup(1) == []
+
+    def test_compact_reclaims_tombstones(self):
+        table = HeapTable("t", ("a",))
+        for value in range(6):
+            table.insert((value,))
+        table.create_index("a")
+        table.delete_row(0)
+        table.delete_row(3)
+        reclaimed = table.compact()
+        assert reclaimed == 2
+        assert len(table) == 4
+        assert table.indexes["a"].lookup(5) != []
+
+    def test_duplicate_index_rejected(self):
+        table = HeapTable("t", ("a",))
+        table.create_index("a")
+        with pytest.raises(EngineError):
+            table.create_index("a")
+
+
+class TestExpressions:
+    LAYOUT = {"x": 0, "y": 1}
+
+    def test_comparisons(self):
+        row = (5, 10)
+        assert (col("x") < col("y")).evaluate(row, self.LAYOUT)
+        assert (col("x") == lit(5)).evaluate(row, self.LAYOUT)
+        assert not (col("y") <= lit(9)).evaluate(row, self.LAYOUT)
+
+    def test_boolean_combinators(self):
+        row = (5, 10)
+        both = (col("x") == lit(5)) & (col("y") == lit(10))
+        either = (col("x") == lit(0)) | (col("y") == lit(10))
+        negated = ~(col("x") == lit(5))
+        assert both.evaluate(row, self.LAYOUT)
+        assert either.evaluate(row, self.LAYOUT)
+        assert not negated.evaluate(row, self.LAYOUT)
+
+    def test_arithmetic(self):
+        row = (6, 3)
+        assert (col("x") + col("y")).evaluate(row, self.LAYOUT) == 9
+        assert (col("x") / col("y")).evaluate(row, self.LAYOUT) == 2
+        assert (col("x") * lit(2) - lit(1)).evaluate(row, self.LAYOUT) == 11
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(EngineError):
+            col("zzz").evaluate((1,), {"x": 0})
+
+    def test_columns_collects_references(self):
+        expression = (col("a") > lit(1)) & (col("b") == col("c"))
+        assert expression.columns() == frozenset({"a", "b", "c"})
+
+    def test_split_and_conjoin_roundtrip(self):
+        from repro.engines.dbms.expressions import conjoin, split_conjuncts
+
+        predicate = (col("a") > lit(1)) & (col("b") == lit(2)) & (col("c") < lit(3))
+        conjuncts = split_conjuncts(predicate)
+        assert len(conjuncts) == 3
+        rebuilt = conjoin(conjuncts)
+        row = (2, 2, 1)
+        layout = {"a": 0, "b": 1, "c": 2}
+        assert rebuilt.evaluate(row, layout) == predicate.evaluate(row, layout)
+
+
+class TestQueries:
+    def test_filter(self, people_db):
+        result = people_db.execute(
+            people_db.query("people").where(col("age") >= lit(30))
+        )
+        assert {row[1] for row in result.rows} == {"ann", "cat", "eve"}
+
+    def test_projection(self, people_db):
+        result = people_db.execute(
+            people_db.query("people").select("name", "city").limit(2)
+        )
+        assert result.schema == ("name", "city")
+        assert len(result.rows) == 2
+
+    def test_computed_projection(self, people_db):
+        result = people_db.execute(
+            people_db.query("people").select(
+                "name", ("age_next_year", col("age") + lit(1))
+            )
+        )
+        ages = dict(result.rows)
+        assert ages["ann"] == 31
+
+    def test_group_by_with_aggregates(self, people_db):
+        result = people_db.execute(
+            people_db.query("people")
+            .group_by("city")
+            .aggregate("count", None, "n")
+            .aggregate("avg", "age", "mean_age")
+            .order_by("city")
+        )
+        rows = {row[0]: row for row in result.rows}
+        assert rows["rome"][1] == 2
+        assert rows["oslo"][2] == pytest.approx(32.5)
+
+    def test_aggregate_without_group_by(self, people_db):
+        result = people_db.execute(
+            people_db.query("people").aggregate("sum", "age", "total")
+        )
+        assert result.rows == [(155.0,)]
+
+    def test_min_max(self, people_db):
+        result = people_db.execute(
+            people_db.query("people")
+            .aggregate("min", "age", "youngest")
+            .aggregate("max", "age", "oldest")
+        )
+        assert result.rows == [(25, 40)]
+
+    def test_order_by_desc_and_limit(self, people_db):
+        result = people_db.execute(
+            people_db.query("people").order_by("age", descending=True).limit(2)
+        )
+        assert [row[1] for row in result.rows] == ["eve", "cat"]
+
+    def test_multi_key_order(self, people_db):
+        result = people_db.execute(
+            people_db.query("people").order_by("age").order_by("name")
+        )
+        names = [row[1] for row in result.rows]
+        assert names == ["bob", "dan", "ann", "cat", "eve"]
+
+    def test_column_accessor(self, people_db):
+        result = people_db.execute(people_db.query("people"))
+        assert result.column("name")[0] == "ann"
+        with pytest.raises(EngineError):
+            result.column("missing")
+
+    def test_unknown_table_rejected(self, people_db):
+        with pytest.raises(EngineError):
+            people_db.execute(people_db.query("nope"))
+
+    def test_unknown_predicate_column_rejected(self, people_db):
+        with pytest.raises(EngineError):
+            people_db.execute(
+                people_db.query("people").where(col("salary") > lit(1))
+            )
+
+    def test_invalid_aggregate_function(self):
+        with pytest.raises(EngineError):
+            Aggregate("median", "x", "m")
+
+
+class TestJoinsAndPlanner:
+    @pytest.fixture()
+    def joined_db(self, people_db):
+        people_db.create_table("visits", ("visit_id", "person_id", "length"))
+        people_db.insert(
+            "visits",
+            [(10, 1, 5), (11, 1, 7), (12, 3, 2), (13, 9, 1)],
+        )
+        return people_db
+
+    def _join_rows(self, engine):
+        return engine.execute(
+            engine.query("visits")
+            .join("people", "person_id", "id")
+            .select("visit_id", "name")
+            .order_by("visit_id")
+        ).rows
+
+    def test_join_matches_expected(self, joined_db):
+        assert self._join_rows(joined_db) == [
+            (10, "ann"), (11, "ann"), (12, "cat"),
+        ]
+
+    def test_all_join_algorithms_agree(self, people_db):
+        expected = None
+        for algorithm in ("hash", "nested_loop", "merge"):
+            engine = DbmsEngine(PlannerConfig(join_algorithm=algorithm))
+            engine.create_table("people", ("id", "name", "age", "city"))
+            engine.insert("people", [(1, "ann", 30, "rome"), (2, "bob", 25, "oslo")])
+            engine.create_table("visits", ("visit_id", "person_id", "length"))
+            engine.insert("visits", [(10, 1, 5), (11, 2, 3), (12, 1, 9)])
+            rows = sorted(
+                engine.execute(
+                    engine.query("visits").join("people", "person_id", "id")
+                ).rows
+            )
+            if expected is None:
+                expected = rows
+            assert rows == expected
+
+    def test_predicate_pushdown_appears_below_join(self, joined_db):
+        plan = joined_db.explain(
+            joined_db.query("visits")
+            .join("people", "person_id", "id")
+            .where(col("length") >= lit(5))
+        )
+        # The filter on visits.length must sit under the join's outer side.
+        join_node = plan
+        while join_node.get("op") not in ("HashJoin", "NestedLoopJoin", "MergeJoin"):
+            join_node = join_node["child"]
+        assert join_node["outer"]["op"] == "Filter"
+
+    def test_pushdown_can_be_disabled(self):
+        engine = DbmsEngine(PlannerConfig(predicate_pushdown=False))
+        engine.create_table("t", ("a",))
+        engine.insert("t", [(1,), (2,)])
+        plan = engine.explain(engine.query("t").where(col("a") == lit(1)))
+        assert plan["op"] == "Filter"
+        assert plan["child"]["op"] == "SeqScan"
+
+    def test_index_scan_chosen_for_point_query(self, people_db):
+        people_db.create_index("people", "id")
+        plan = people_db.explain(
+            people_db.query("people").where(col("id") == lit(3))
+        )
+        assert plan["op"] == "IndexScan"
+
+    def test_index_scan_can_be_disabled(self, people_db):
+        people_db.create_index("people", "id")
+        engine = people_db
+        engine.planner.config.use_indexes = False
+        plan = engine.explain(engine.query("people").where(col("id") == lit(3)))
+        assert plan["op"] == "Filter"
+
+    def test_auto_picks_nested_loop_for_tiny_inner(self, joined_db):
+        plan = joined_db.explain(
+            joined_db.query("visits").join("people", "person_id", "id")
+        )
+        assert plan["op"] == "NestedLoopJoin"  # 5-row inner under threshold
+
+    def test_join_column_validation(self, joined_db):
+        with pytest.raises(EngineError):
+            joined_db.execute(
+                joined_db.query("visits").join("people", "nope", "id")
+            )
+
+    def test_duplicate_columns_qualified(self, people_db):
+        people_db.create_table("pets", ("id", "name", "owner_id"))
+        people_db.insert("pets", [(1, "rex", 1)])
+        result = people_db.execute(
+            people_db.query("pets").join("people", "owner_id", "id")
+        )
+        assert "id_r" in result.schema
+        assert "name_r" in result.schema
+
+
+class TestDml:
+    def test_update(self, people_db):
+        changed = people_db.update(
+            "people", col("city") == lit("rome"), {"age": 99}
+        )
+        assert changed == 2
+        result = people_db.execute(
+            people_db.query("people").where(col("age") == lit(99))
+        )
+        assert len(result.rows) == 2
+
+    def test_delete(self, people_db):
+        removed = people_db.delete("people", col("age") < lit(30))
+        assert removed == 2
+        assert len(people_db.execute(people_db.query("people")).rows) == 3
+
+    def test_load_dataset(self, retail_tables):
+        engine = DbmsEngine()
+        name = engine.load_dataset(retail_tables["orders"], "orders")
+        assert name == "orders"
+        assert engine.stats("orders").row_count == 300
+
+    def test_load_requires_table_type(self, text_corpus):
+        engine = DbmsEngine()
+        with pytest.raises(EngineError):
+            engine.load_dataset(text_corpus)
+
+    def test_drop_table(self, people_db):
+        people_db.drop_table("people")
+        assert not people_db.catalog.has_table("people")
+        with pytest.raises(EngineError):
+            people_db.drop_table("people")

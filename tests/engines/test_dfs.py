@@ -1,0 +1,192 @@
+"""Tests for the simulated distributed file system and the CFS workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import EngineError, ExecutionError
+from repro.datagen.text import RandomTextGenerator
+from repro.engines.dfs import DistributedFileSystem
+from repro.workloads import CfsWorkload
+
+
+@pytest.fixture()
+def dfs():
+    return DistributedFileSystem(num_nodes=4, block_size=64, replication=2)
+
+
+class TestReadWrite:
+    def test_write_then_read_roundtrips(self, dfs):
+        payload = b"hello distributed world" * 10
+        dfs.write_file("/a", payload)
+        result = dfs.read_file("/a")
+        assert result.ok
+        assert result.data == payload
+
+    def test_file_is_split_into_blocks(self, dfs):
+        dfs.write_file("/a", b"x" * 300)  # block size 64 → 5 blocks
+        entry = dfs._namespace["/a"]  # noqa: SLF001 - white-box check
+        assert len(entry.block_ids) == 5
+
+    def test_blocks_are_replicated(self, dfs):
+        dfs.write_file("/a", b"y" * 100)
+        for node_ids in dfs._block_locations.values():  # noqa: SLF001
+            assert len(node_ids) == 2
+            assert len(set(node_ids)) == 2  # on distinct nodes
+
+    def test_read_missing_file(self, dfs):
+        result = dfs.read_file("/ghost")
+        assert not result.ok
+        assert result.data is None
+
+    def test_overwrite_replaces_content(self, dfs):
+        dfs.write_file("/a", b"first")
+        dfs.write_file("/a", b"second")
+        assert dfs.read_file("/a").data == b"second"
+
+    def test_empty_file(self, dfs):
+        dfs.write_file("/empty", b"")
+        result = dfs.read_file("/empty")
+        assert result.ok
+        assert result.data == b""
+
+    def test_append(self, dfs):
+        dfs.write_file("/log", b"line1")
+        dfs.append("/log", b"\nline2")
+        assert dfs.read_file("/log").data == b"line1\nline2"
+
+    def test_append_creates_missing_file(self, dfs):
+        dfs.append("/new", b"content")
+        assert dfs.read_file("/new").data == b"content"
+
+    def test_delete_frees_space(self, dfs):
+        dfs.write_file("/a", b"z" * 500)
+        used_before = sum(node.used_bytes for node in dfs.nodes)
+        assert used_before > 0
+        assert dfs.delete_file("/a").ok
+        assert sum(node.used_bytes for node in dfs.nodes) == 0
+        assert not dfs.delete_file("/a").ok
+
+    def test_namespace_listing(self, dfs):
+        dfs.write_file("/data/a", b"1")
+        dfs.write_file("/data/b", b"2")
+        dfs.write_file("/tmp/c", b"3")
+        assert dfs.list_files("/data/") == ["/data/a", "/data/b"]
+        assert dfs.exists("/tmp/c")
+        assert dfs.file_size("/data/a") == 1
+
+    def test_file_size_missing(self, dfs):
+        with pytest.raises(EngineError):
+            dfs.file_size("/nope")
+
+
+class TestSimulation:
+    def test_write_latency_grows_with_size(self, dfs):
+        small = dfs.write_file("/s", b"a" * 64)
+        large = dfs.write_file("/l", b"a" * 6400)
+        assert large.simulated_seconds > small.simulated_seconds
+
+    def test_replication_costs_network(self):
+        single = DistributedFileSystem(num_nodes=4, replication=1)
+        triple = DistributedFileSystem(num_nodes=4, replication=3)
+        single.write_file("/a", b"x" * 1000)
+        triple.write_file("/a", b"x" * 1000)
+        assert triple.counters.network_bytes > single.counters.network_bytes
+
+    def test_placement_balances_load(self, dfs):
+        for index in range(20):
+            dfs.write_file(f"/f{index}", b"b" * 64)
+        utilizations = dfs.utilization()
+        assert max(utilizations) <= 2 * min(utilizations) + 1e-9
+
+    def test_capacity_exhaustion(self):
+        tiny = DistributedFileSystem(
+            num_nodes=2, replication=2, node_capacity=128, block_size=64
+        )
+        tiny.write_file("/a", b"x" * 128)
+        with pytest.raises(EngineError):
+            tiny.write_file("/b", b"x" * 128)
+
+    def test_parameter_validation(self):
+        with pytest.raises(EngineError):
+            DistributedFileSystem(num_nodes=0)
+        with pytest.raises(EngineError):
+            DistributedFileSystem(num_nodes=2, replication=3)
+        with pytest.raises(EngineError):
+            DistributedFileSystem(block_size=0)
+
+
+class TestFaultTolerance:
+    def test_data_survives_single_node_loss(self, dfs):
+        payload = b"durable" * 50
+        dfs.write_file("/a", payload)
+        dfs.fail_node(0)
+        assert dfs.read_file("/a").data == payload
+        assert not dfs.lost_blocks()
+
+    def test_under_replication_detected_and_repaired(self, dfs):
+        dfs.write_file("/a", b"r" * 500)
+        dfs.fail_node(1)
+        under = dfs.under_replicated_blocks()
+        if under:  # node 1 held at least one replica
+            copies = dfs.re_replicate()
+            assert copies == len(under)
+        assert dfs.under_replicated_blocks() == []
+        for node_ids in dfs._block_locations.values():  # noqa: SLF001
+            assert len(node_ids) == 2
+
+    def test_unreplicated_data_is_lost(self):
+        fragile = DistributedFileSystem(num_nodes=2, replication=1,
+                                        block_size=64)
+        fragile.write_file("/a", b"gone" * 64)
+        # Fail both nodes: every block loses its only replica.
+        fragile.fail_node(0)
+        fragile.fail_node(1)
+        assert fragile.lost_blocks()
+
+    def test_fail_unknown_node(self, dfs):
+        with pytest.raises(EngineError):
+            dfs.fail_node(99)
+
+
+class TestCfsWorkload:
+    @pytest.fixture()
+    def text_data(self):
+        return RandomTextGenerator(document_length=12, seed=5).generate(40)
+
+    def test_full_cycle_runs(self, text_data):
+        result = CfsWorkload().run(DistributedFileSystem(), text_data, files=4)
+        assert result.output["files"] == 4
+        assert result.simulated_seconds > 0
+        means = result.output["mean_latency_by_op"]
+        assert all(means[op] > 0 for op in ("write", "read", "append",
+                                            "delete"))
+
+    def test_files_deleted_at_end(self, text_data):
+        engine = DistributedFileSystem()
+        CfsWorkload().run(engine, text_data, files=4)
+        assert engine.list_files("/bench/") == []
+
+    def test_write_throughput_reported(self, text_data):
+        result = CfsWorkload().run(DistributedFileSystem(), text_data)
+        assert result.extra["write_throughput_bytes_per_second"] > 0
+
+    def test_registered_and_prescribed(self):
+        from repro.core import registry
+        from repro.core.test_generator import TestGenerator
+
+        assert "cfs" in registry.workloads
+        test = TestGenerator().generate("micro-cfs", "dfs", 30)
+        result = test.run()
+        assert result.engine == "dfs"
+
+    def test_empty_dataset_rejected(self):
+        from repro.datagen.base import DataType, as_dataset
+
+        empty = as_dataset([], DataType.TEXT)
+        with pytest.raises(ExecutionError):
+            CfsWorkload().run(DistributedFileSystem(), empty)
+
+    def test_invalid_file_count(self, text_data):
+        with pytest.raises(ExecutionError):
+            CfsWorkload().run(DistributedFileSystem(), text_data, files=0)

@@ -1,0 +1,179 @@
+"""Tests for the SQL front-end of the relational engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engines.dbms import DbmsEngine, col, lit
+from repro.engines.dbms.sql import SqlSyntaxError, parse_sql
+
+
+@pytest.fixture()
+def db(retail_tables):
+    engine = DbmsEngine()
+    for name, dataset in retail_tables.items():
+        engine.load_dataset(dataset, name)
+    return engine
+
+
+class TestParsing:
+    def test_select_star(self, db):
+        result = db.sql("SELECT * FROM customers")
+        assert len(result.rows) == 80
+        assert result.schema == ("customer_id", "name", "country", "age")
+
+    def test_projection(self, db):
+        result = db.sql("SELECT name, age FROM customers LIMIT 3")
+        assert result.schema == ("name", "age")
+        assert len(result.rows) == 3
+
+    def test_projection_with_alias(self, db):
+        result = db.sql("SELECT age AS years FROM customers LIMIT 1")
+        assert result.schema == ("years",)
+
+    def test_computed_expression(self, db):
+        result = db.sql(
+            "SELECT age + 1 AS next_age FROM customers LIMIT 2"
+        )
+        raw = db.sql("SELECT age FROM customers LIMIT 2")
+        assert [row[0] for row in result.rows] == [
+            row[0] + 1 for row in raw.rows
+        ]
+
+    def test_arithmetic_precedence(self, db):
+        result = db.sql(
+            "SELECT age + 2 * 10 AS v FROM customers LIMIT 1"
+        )
+        base = db.sql("SELECT age FROM customers LIMIT 1").rows[0][0]
+        assert result.rows[0][0] == base + 20
+
+    def test_where_filters(self, db):
+        result = db.sql("SELECT * FROM customers WHERE age >= 60")
+        builder = db.execute(
+            db.query("customers").where(col("age") >= lit(60))
+        )
+        assert sorted(result.rows) == sorted(builder.rows)
+
+    def test_where_and_or_not(self, db):
+        result = db.sql(
+            "SELECT * FROM customers "
+            "WHERE (country = 'us' OR country = 'uk') AND NOT age < 30"
+        )
+        for row in result.rows:
+            assert row[2] in ("us", "uk")
+            assert row[3] >= 30
+
+    def test_string_literal_with_quote(self, db):
+        db.create_table("notes", ("id", "text"))
+        db.insert("notes", [(1, "it's fine")])
+        result = db.sql("SELECT * FROM notes WHERE text = 'it''s fine'")
+        assert len(result.rows) == 1
+
+    def test_not_equal_variants(self, db):
+        a = db.sql("SELECT * FROM customers WHERE country != 'us'")
+        b = db.sql("SELECT * FROM customers WHERE country <> 'us'")
+        assert sorted(a.rows) == sorted(b.rows)
+
+    def test_join(self, db):
+        result = db.sql(
+            "SELECT * FROM orders "
+            "JOIN customers ON orders.customer_id = customers.customer_id"
+        )
+        assert len(result.rows) == 300  # every order has a customer
+
+    def test_group_by_with_aggregates(self, db):
+        result = db.sql(
+            "SELECT country, COUNT(*) AS n, AVG(age) AS mean_age "
+            "FROM customers GROUP BY country ORDER BY country"
+        )
+        assert result.schema == ("country", "n", "mean_age")
+        total = sum(row[1] for row in result.rows)
+        assert total == 80
+
+    def test_aggregate_without_group(self, db):
+        result = db.sql("SELECT SUM(quantity) AS total FROM orders")
+        reference = sum(row[3] for row in db.sql("SELECT * FROM orders").rows)
+        assert result.rows == [(float(reference),)]
+
+    def test_order_by_desc_and_limit(self, db):
+        result = db.sql(
+            "SELECT name, age FROM customers ORDER BY age DESC LIMIT 2"
+        )
+        ages = [row[1] for row in result.rows]
+        assert ages == sorted(ages, reverse=True)
+        assert len(result.rows) == 2
+
+    def test_multi_key_order(self, db):
+        result = db.sql(
+            "SELECT country, age FROM customers ORDER BY country ASC, age DESC"
+        )
+        rows = result.rows
+        assert rows == sorted(rows, key=lambda r: (r[0], -r[1]))
+
+    def test_full_paper_query(self, db):
+        """The full select→join→aggregate shape, via SQL text."""
+        sql_result = db.sql(
+            "SELECT category, SUM(quantity) AS total FROM orders "
+            "JOIN products ON orders.product_id = products.product_id "
+            "WHERE quantity >= 2 GROUP BY category ORDER BY total DESC"
+        )
+        builder_result = db.execute(
+            db.query("orders")
+            .where(col("quantity") >= lit(2))
+            .join("products", "product_id", "product_id")
+            .group_by("category")
+            .aggregate("sum", "quantity", "total")
+            .order_by("total", descending=True)
+        )
+        assert sql_result.rows == builder_result.rows
+
+    def test_case_insensitive_keywords(self, db):
+        result = db.sql("select name from customers limit 1")
+        assert result.schema == ("name",)
+
+
+class TestSyntaxErrors:
+    def test_missing_from(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.sql("SELECT *")
+
+    def test_trailing_garbage(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.sql("SELECT * FROM customers extra")
+
+    def test_bad_limit(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.sql("SELECT * FROM customers LIMIT many")
+
+    def test_bare_column_next_to_aggregate_needs_group_by(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.sql("SELECT country, COUNT(*) AS n FROM customers")
+
+    def test_bad_comparison(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.sql("SELECT * FROM customers WHERE age ~ 5")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT ; FROM t")
+
+    def test_empty_query(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("")
+
+
+class TestParseOnly:
+    def test_parse_produces_logical_query(self):
+        query = parse_sql(
+            "SELECT a, SUM(b) AS total FROM t "
+            "JOIN u ON t.k = u.k WHERE a > 1 GROUP BY a LIMIT 5"
+        )
+        assert query.table == "t"
+        assert query.joins[0].table == "u"
+        assert query.group_by == ["a"]
+        assert query.aggregates[0].alias == "total"
+        assert query.limit == 5
+
+    def test_qualified_names_are_stripped(self):
+        query = parse_sql("SELECT t.a FROM t WHERE t.a = 1")
+        assert query.projection[0][0] == "a"

@@ -1,0 +1,171 @@
+"""Tests for the streaming engine: windows, topologies, queueing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import EngineError
+from repro.datagen.stream import EventKind, StreamEvent
+from repro.engines.streaming import (
+    FilterOperator,
+    MapOperator,
+    SlidingWindowAggregate,
+    StreamingEngine,
+    Topology,
+    TumblingWindowAggregate,
+)
+
+
+def make_events(timestamps, keys=None, values=None):
+    keys = keys or [0] * len(timestamps)
+    values = values or [1.0] * len(timestamps)
+    return [
+        StreamEvent(timestamp=t, key=k, value=v)
+        for t, k, v in zip(timestamps, keys, values)
+    ]
+
+
+class TestTumblingWindows:
+    def test_counts_per_window(self):
+        events = make_events([0.1, 0.2, 1.1, 1.2, 1.3, 2.5])
+        window = TumblingWindowAggregate(1.0, lambda acc, v: acc + 1)
+        topology = Topology("count").then(window)
+        report = StreamingEngine().run(topology, events)
+        counts = {
+            (result.window_start, result.key): result.value
+            for result in report.results
+        }
+        assert counts[(0.0, 0)] == 2
+        assert counts[(1.0, 0)] == 3
+        assert counts[(2.0, 0)] == 1
+
+    def test_per_key_aggregation(self):
+        events = make_events([0.1, 0.2, 0.3], keys=[1, 2, 1])
+        window = TumblingWindowAggregate(1.0, lambda acc, v: acc + 1)
+        report = StreamingEngine().run(Topology("t").then(window), events)
+        by_key = {result.key: result.value for result in report.results}
+        assert by_key == {1: 2, 2: 1}
+
+    def test_sum_aggregation(self):
+        events = make_events([0.1, 0.2], values=[3.0, 4.0])
+        window = TumblingWindowAggregate(1.0, lambda acc, v: acc + v)
+        report = StreamingEngine().run(Topology("t").then(window), events)
+        assert report.results[0].value == pytest.approx(7.0)
+
+    def test_watermark_emits_closed_windows_early(self):
+        window = TumblingWindowAggregate(1.0, lambda acc, v: acc + 1)
+        window.process(StreamEvent(0.5, 0, 1.0))
+        window.process(StreamEvent(2.5, 0, 1.0))  # closes window [0, 1)
+        emitted = window.take_emitted()
+        assert len(emitted) == 1
+        assert emitted[0].window_start == 0.0
+
+    def test_invalid_window(self):
+        with pytest.raises(EngineError):
+            TumblingWindowAggregate(0.0, lambda acc, v: acc)
+
+    def test_every_event_lands_in_exactly_one_window(self):
+        events = make_events([i * 0.113 for i in range(100)])
+        window = TumblingWindowAggregate(0.25, lambda acc, v: acc + 1)
+        report = StreamingEngine().run(Topology("t").then(window), events)
+        assert sum(result.value for result in report.results) == 100
+
+
+class TestSlidingWindows:
+    def test_event_lands_in_overlapping_windows(self):
+        events = make_events([0.55])
+        window = SlidingWindowAggregate(1.0, 0.5, lambda acc, v: acc + 1)
+        report = StreamingEngine().run(Topology("t").then(window), events)
+        starts = sorted(result.window_start for result in report.results)
+        assert starts == [0.0, 0.5]
+
+    def test_coverage_ratio(self):
+        """With size = 2x slide, each event contributes to two windows."""
+        events = make_events([0.1 + i * 0.2 for i in range(50)])
+        window = SlidingWindowAggregate(0.4, 0.2, lambda acc, v: acc + 1)
+        report = StreamingEngine().run(Topology("t").then(window), events)
+        total = sum(result.value for result in report.results)
+        # Events near t=0 fall in one window only; everything else in two.
+        assert 90 <= total <= 100
+
+    def test_validation(self):
+        with pytest.raises(EngineError):
+            SlidingWindowAggregate(1.0, 2.0, lambda acc, v: acc)
+        with pytest.raises(EngineError):
+            SlidingWindowAggregate(0.0, 0.0, lambda acc, v: acc)
+
+
+class TestOperators:
+    def test_filter_drops_events(self):
+        events = [
+            StreamEvent(0.1, 0, 1.0, EventKind.INSERT),
+            StreamEvent(0.2, 0, 1.0, EventKind.UPDATE),
+        ]
+        topology = (
+            Topology("updates")
+            .then(FilterOperator(lambda e: e.kind is EventKind.UPDATE))
+            .then(TumblingWindowAggregate(1.0, lambda acc, v: acc + 1))
+        )
+        report = StreamingEngine().run(topology, events)
+        assert sum(result.value for result in report.results) == 1
+
+    def test_map_transforms_values(self):
+        events = make_events([0.1], values=[2.0])
+        doubler = MapOperator(
+            lambda e: StreamEvent(e.timestamp, e.key, e.value * 2, e.kind)
+        )
+        topology = (
+            Topology("double")
+            .then(doubler)
+            .then(TumblingWindowAggregate(1.0, lambda acc, v: acc + v))
+        )
+        report = StreamingEngine().run(topology, events)
+        assert report.results[0].value == pytest.approx(4.0)
+
+
+class TestQueueingModel:
+    def _uniform_events(self, rate: float, count: int):
+        return make_events([i / rate for i in range(count)])
+
+    def test_keeps_up_when_service_exceeds_arrival(self):
+        engine = StreamingEngine(service_seconds_per_event=1e-4)  # 10k/s
+        report = engine.run(
+            Topology("t"), self._uniform_events(rate=1000.0, count=500)
+        )
+        assert report.keeps_up
+        assert report.final_backlog_seconds < 0.01
+
+    def test_overload_builds_backlog(self):
+        engine = StreamingEngine(service_seconds_per_event=2e-3)  # 500/s
+        report = engine.run(
+            Topology("t"), self._uniform_events(rate=1000.0, count=500)
+        )
+        assert not report.keeps_up
+        assert report.final_backlog_seconds > 0.1
+        # Latency grows towards the end of the stream (queue builds).
+        assert report.latencies[-1] > report.latencies[0]
+
+    def test_latency_floor_is_service_time(self):
+        engine = StreamingEngine(service_seconds_per_event=1e-3)
+        report = engine.run(Topology("t"), self._uniform_events(10.0, 20))
+        assert min(report.latencies) >= 1e-3 - 1e-12
+
+    def test_out_of_order_events_are_sorted(self):
+        events = [StreamEvent(0.3, 0, 1.0), StreamEvent(0.1, 0, 1.0)]
+        window = TumblingWindowAggregate(1.0, lambda acc, v: acc + 1)
+        report = StreamingEngine().run(Topology("t").then(window), events)
+        assert sum(result.value for result in report.results) == 2
+
+    def test_empty_stream(self):
+        report = StreamingEngine().run(Topology("t"), [])
+        assert report.events_in == 0
+        assert report.results == []
+
+    def test_invalid_service_time(self):
+        with pytest.raises(EngineError):
+            StreamingEngine(service_seconds_per_event=0.0)
+
+    def test_counters(self):
+        engine = StreamingEngine()
+        engine.run(Topology("t"), self._uniform_events(100.0, 10))
+        assert engine.counters.records_read == 10

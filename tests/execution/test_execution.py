@@ -1,0 +1,190 @@
+"""Tests for the execution layer: config, runner, harness, report."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro  # noqa: F401 - triggers default registration
+from repro.core.errors import ExecutionError
+from repro.core.results import RunResult
+from repro.engines.dbms import PlannerConfig
+from repro.execution.config import (
+    SystemConfiguration,
+    default_configurations,
+    prepare_input,
+)
+from repro.execution.harness import BenchmarkHarness
+from repro.execution.report import (
+    ascii_table,
+    format_value,
+    markdown_table,
+    results_json,
+    results_table,
+)
+from repro.execution.runner import RunnerOptions, TestRunner
+
+
+class TestSystemConfiguration:
+    def test_default_configurations_cover_all_engines(self):
+        assert set(default_configurations()) == {
+            "mapreduce", "dbms", "nosql", "streaming", "dfs",
+        }
+
+    def test_build_mapreduce_with_cluster_options(self):
+        configuration = SystemConfiguration("mapreduce", {"num_nodes": 2})
+        engine = configuration.build()
+        assert engine.cluster_model.spec.num_nodes == 2
+
+    def test_build_dbms_with_planner_options(self):
+        configuration = SystemConfiguration(
+            "dbms", {"join_algorithm": "merge"}
+        )
+        engine = configuration.build()
+        assert engine.planner.config.join_algorithm == "merge"
+
+    def test_build_nosql_with_partitions(self):
+        configuration = SystemConfiguration("nosql", {"num_partitions": 3})
+        assert configuration.build().num_partitions == 3
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ExecutionError):
+            SystemConfiguration("spark").build()
+
+    def test_prepare_input_uses_engine_format(self, text_corpus):
+        from repro.engines.mapreduce import MapReduceEngine
+
+        converted = prepare_input(text_corpus, MapReduceEngine())
+        assert converted.format_name == "key-value"
+
+
+class TestRunnerBehaviour:
+    def test_run_aggregates_repeats(self):
+        runner = TestRunner(options=RunnerOptions(repeats=3))
+        result = runner.run("micro-wordcount", "mapreduce", 20)
+        assert result.repeats == 3
+        assert result.mean("throughput") > 0
+
+    def test_warmup_runs_not_counted(self):
+        runner = TestRunner(options=RunnerOptions(repeats=2, warmup_runs=1))
+        result = runner.run("micro-wordcount", "mapreduce", 15)
+        assert result.repeats == 2
+
+    def test_repeats_use_fresh_engines(self):
+        """A stateful engine (DBMS) must not see tables from prior repeats."""
+        runner = TestRunner(options=RunnerOptions(repeats=3))
+        result = runner.run("database-aggregate-join", "dbms", 60)
+        assert result.repeats == 3  # would raise "table exists" otherwise
+
+    def test_run_on_engines(self):
+        runner = TestRunner()
+        results = runner.run_on_engines(
+            "database-aggregate-join", ["dbms", "mapreduce"], 50
+        )
+        assert [result.engine for result in results] == ["dbms", "mapreduce"]
+
+    def test_options_validation(self):
+        with pytest.raises(ExecutionError):
+            RunnerOptions(repeats=0)
+        with pytest.raises(ExecutionError):
+            RunnerOptions(warmup_runs=-1)
+
+    def test_overrides_flow_through(self):
+        runner = TestRunner()
+        result = runner.run(
+            "micro-grep", "mapreduce", 40, pattern_text=""
+        )
+        assert result.extra.get("jobs") == ["grep"]
+
+
+class TestHarness:
+    def test_volume_sweep_series(self):
+        harness = BenchmarkHarness()
+        report = harness.volume_sweep(
+            "micro-wordcount", "mapreduce", [10, 40]
+        )
+        series = report.series("duration")
+        assert len(series) == 2
+        assert series[0][0] == 10
+        # Larger volume → more work (duration grows).
+        assert series[1][1] > series[0][1]
+
+    def test_param_sweep(self):
+        harness = BenchmarkHarness()
+        report = harness.param_sweep(
+            "oltp-read-write", "nosql", "operation_count", [50, 100]
+        )
+        assert [point.value for point in report.points] == [50, 100]
+
+    def test_compare_engines_returns_analyzer(self):
+        harness = BenchmarkHarness()
+        analyzer = harness.compare_engines(
+            "database-aggregate-join", ["dbms", "mapreduce"], 50
+        )
+        factors = analyzer.speedup(
+            "duration", baseline_engine="mapreduce", higher_is_better=False
+        )
+        assert set(factors) == {"dbms", "mapreduce"}
+
+    def test_configuration_sweep_restores_originals(self):
+        harness = BenchmarkHarness()
+        before = dict(harness.runner.configurations)
+        report = harness.configuration_sweep(
+            "database-aggregate-join",
+            "dbms",
+            {
+                "hash": SystemConfiguration("dbms", {"join_algorithm": "hash"}),
+                "nested": SystemConfiguration(
+                    "dbms", {"join_algorithm": "nested_loop"}
+                ),
+            },
+            volume_override=50,
+        )
+        assert len(report.points) == 2
+        assert harness.runner.configurations == before
+
+    def test_sweep_rows(self):
+        harness = BenchmarkHarness()
+        report = harness.volume_sweep("micro-wordcount", "mapreduce", [10])
+        rows = report.rows(["duration"])
+        assert rows[0]["volume"] == 10
+        assert "duration" in rows[0]
+
+
+class TestReporting:
+    def _results(self) -> list[RunResult]:
+        runner = TestRunner()
+        return [runner.run("micro-wordcount", "mapreduce", 15)]
+
+    def test_ascii_table_aligns_columns(self):
+        table = ascii_table([{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_ascii_table_empty(self):
+        assert ascii_table([]) == "(no rows)"
+
+    def test_markdown_table_shape(self):
+        table = markdown_table([{"x": 1}])
+        lines = table.splitlines()
+        assert lines[0] == "| x |"
+        assert lines[1] == "|---|"
+
+    def test_results_table_contains_metrics(self):
+        text = results_table(self._results(), ["duration", "throughput"])
+        assert "duration" in text
+        assert "mapreduce" in text
+
+    def test_results_json_roundtrips(self):
+        payload = json.loads(results_json(self._results()))
+        assert payload[0]["engine"] == "mapreduce"
+        assert "duration" in payload[0]["metrics"]
+
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(1234.0) == "1,234"
+        assert format_value(0.25) == "0.25"
+        assert format_value(1e-6) == "1.000e-06"
+        assert format_value("txt") == "txt"

@@ -1,0 +1,150 @@
+"""Tests for the repro-bench command-line interface."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestList:
+    def test_lists_all_catalogues(self):
+        code, output = run_cli("list")
+        assert code == 0
+        for needle in ("prescriptions:", "micro-wordcount", "engines:",
+                       "mapreduce", "generators:", "lda-text",
+                       "workloads:", "formats:", "csv"):
+            assert needle in output
+
+
+class TestRun:
+    def test_runs_a_prescription(self):
+        code, output = run_cli(
+            "run", "micro-wordcount", "--volume", "40"
+        )
+        assert code == 0
+        assert "five-step process" in output
+        assert "data-generation" in output
+        assert "mapreduce" in output
+
+    def test_engine_selection(self):
+        code, output = run_cli(
+            "run", "database-aggregate-join", "--engine", "dbms",
+            "--volume", "50",
+        )
+        assert code == 0
+        assert "dbms" in output
+        assert "mapreduce" not in output.split("five-step process")[1]
+
+    def test_repeats_and_partitions(self):
+        code, output = run_cli(
+            "run", "micro-sort", "--volume", "30",
+            "--repeats", "2", "--partitions", "3",
+        )
+        assert code == 0
+
+    def test_params_are_typed(self):
+        code, output = run_cli(
+            "run", "oltp-read-write", "--engine", "nosql",
+            "--volume", "40", "--param", "operation_count=120",
+        )
+        assert code == 0
+
+    def test_json_output(self):
+        code, output = run_cli(
+            "run", "micro-wordcount", "--volume", "20", "--json"
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload[0]["engine"] == "mapreduce"
+
+    def test_unknown_prescription_fails_cleanly(self):
+        code, _ = run_cli("run", "does-not-exist")
+        assert code == 2
+
+    def test_bad_param_syntax(self):
+        with pytest.raises(SystemExit):
+            run_cli("run", "micro-sort", "--param", "notkeyvalue")
+
+
+class TestGenerate:
+    def test_purely_synthetic(self):
+        code, output = run_cli(
+            "generate", "random-text", "--volume", "10", "--sample", "2"
+        )
+        assert code == 0
+        assert "generated 10 records" in output
+
+    def test_veracity_aware_with_seed_corpus(self):
+        code, output = run_cli(
+            "generate", "unigram-text", "--volume", "5",
+            "--fit-on", "text-corpus",
+        )
+        assert code == 0
+        assert "generated 5 records" in output
+
+    def test_format_conversion(self):
+        code, output = run_cli(
+            "generate", "mixture-table", "--volume", "5",
+            "--format", "csv", "--sample", "3",
+        )
+        assert code == 0
+        assert "x0" in output  # the CSV header line
+
+    def test_unknown_generator(self):
+        code, _ = run_cli("generate", "quantum-data")
+        assert code == 2
+
+
+class TestTables:
+    def test_regenerates_both_tables(self):
+        code, output = run_cli("tables")
+        assert code == 0
+        assert "Table 1" in output
+        assert "BigDataBench" in output
+        assert output.count("matches the paper: yes") == 2
+
+
+class TestPrescriptionFiles:
+    def test_export_then_run_from_file(self, tmp_path):
+        """§5.2 reusable prescriptions as shareable files, end to end."""
+        path = tmp_path / "prescriptions.json"
+        code, output = run_cli("export-prescriptions", str(path))
+        assert code == 0
+        assert "wrote" in output
+        assert path.exists()
+        code, output = run_cli(
+            "run", "micro-wordcount", "--volume", "25",
+            "--repository", str(path),
+        )
+        assert code == 0
+        assert "mapreduce" in output
+
+    def test_corrupt_repository_file_fails_cleanly(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{broken")
+        code, _ = run_cli(
+            "run", "micro-wordcount", "--repository", str(path)
+        )
+        assert code == 2
+
+
+class TestMiniature:
+    def test_runs_a_miniature(self):
+        code, output = run_cli("miniature", "GridMix", "--scale", "0.3")
+        assert code == 0
+        assert "GridMix" in output
+        assert "sort" in output
+
+    def test_unknown_suite(self):
+        code, _ = run_cli("miniature", "SparkBench")
+        assert code == 2

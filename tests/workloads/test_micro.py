@@ -1,0 +1,127 @@
+"""Tests for the micro workloads (Sort, TeraSort, WordCount, Grep)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.core.errors import ExecutionError
+from repro.datagen.text import RandomTextGenerator
+from repro.engines.mapreduce import MapReduceEngine
+from repro.workloads import (
+    GrepWorkload,
+    SortWorkload,
+    TeraSortWorkload,
+    WordCountWorkload,
+)
+from repro.workloads.base import WorkloadCategory
+
+
+@pytest.fixture()
+def text_data():
+    return RandomTextGenerator(document_length=6, seed=1).generate(60)
+
+
+class TestSortWorkload:
+    def test_output_is_globally_sorted(self, text_data):
+        result = SortWorkload().run(MapReduceEngine(), text_data)
+        keys = [key for key, _ in result.output]
+        assert keys == sorted(keys)
+
+    def test_output_is_a_permutation_of_input(self, text_data):
+        result = SortWorkload().run(MapReduceEngine(), text_data)
+        assert Counter(key for key, _ in result.output) == Counter(
+            text_data.records
+        )
+
+    def test_rejects_wrong_data_type(self, social_graph):
+        with pytest.raises(ExecutionError):
+            SortWorkload().run(MapReduceEngine(), social_graph)
+
+    def test_declares_metadata(self):
+        workload = SortWorkload()
+        assert workload.category is WorkloadCategory.OFFLINE_ANALYTICS
+        assert workload.supported_engines() == ("mapreduce",)
+        assert workload.pattern.pattern_name == "single-operation"
+
+    def test_duration_recorded(self, text_data):
+        result = SortWorkload().run(MapReduceEngine(), text_data)
+        assert result.duration_seconds > 0
+        assert result.simulated_seconds is not None
+
+
+class TestTeraSortWorkload:
+    def test_globally_sorted_despite_many_reducers(self, text_data):
+        result = TeraSortWorkload().run(
+            MapReduceEngine(), text_data, num_reducers=4
+        )
+        keys = [key for key, _ in result.output]
+        assert keys == sorted(keys)
+
+    def test_permutation_preserved(self, text_data):
+        result = TeraSortWorkload().run(MapReduceEngine(), text_data)
+        assert Counter(key for key, _ in result.output) == Counter(
+            text_data.records
+        )
+
+    def test_multiple_reducers_actually_used(self, text_data):
+        result = TeraSortWorkload().run(
+            MapReduceEngine(), text_data, num_reducers=4
+        )
+        groups = result.cost.records_written
+        assert groups == text_data.num_records
+
+
+class TestWordCountWorkload:
+    def test_counts_match_reference(self, text_data):
+        reference: Counter = Counter()
+        for document in text_data.records:
+            reference.update(document.split())
+        result = WordCountWorkload().run(MapReduceEngine(), text_data)
+        assert dict(result.output) == dict(reference)
+
+    def test_combiner_toggle_keeps_output(self, text_data):
+        with_combiner = WordCountWorkload().run(
+            MapReduceEngine(), text_data, use_combiner=True
+        )
+        without = WordCountWorkload().run(
+            MapReduceEngine(), text_data, use_combiner=False
+        )
+        assert dict(with_combiner.output) == dict(without.output)
+        # The combiner saves shuffle traffic (network bytes).
+        assert with_combiner.cost.network_bytes < without.cost.network_bytes
+
+    def test_records_in_out(self, text_data):
+        result = WordCountWorkload().run(MapReduceEngine(), text_data)
+        assert result.records_in == 60
+        assert result.records_out == len(set(
+            word for doc in text_data.records for word in doc.split()
+        ))
+
+
+class TestGrepWorkload:
+    def test_only_matching_lines_survive(self, text_data):
+        result = GrepWorkload().run(
+            MapReduceEngine(), text_data, pattern_text="river"
+        )
+        assert all("river" in line for _, line in result.output)
+
+    def test_matches_reference_count(self, text_data):
+        expected = sum(1 for doc in text_data.records if "apple" in doc)
+        result = GrepWorkload().run(
+            MapReduceEngine(), text_data, pattern_text="apple"
+        )
+        assert result.records_out == expected
+
+    def test_regex_patterns_supported(self, text_data):
+        result = GrepWorkload().run(
+            MapReduceEngine(), text_data, pattern_text="^apple"
+        )
+        assert all(line.startswith("apple") for _, line in result.output)
+
+    def test_no_match(self, text_data):
+        result = GrepWorkload().run(
+            MapReduceEngine(), text_data, pattern_text="zzzzz"
+        )
+        assert result.records_out == 0

@@ -1,0 +1,169 @@
+"""Tests for the §5.2 extension workloads: multimedia + large-scale
+learning, and the synthetic image generator behind them."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ExecutionError, GenerationError
+from repro.datagen.base import DataType, StructureClass
+from repro.datagen.media import (
+    TEXTURE_CLASSES,
+    SyntheticImageGenerator,
+    image_features,
+)
+from repro.datagen.mixture import GaussianMixtureGenerator
+from repro.engines.mapreduce import MapReduceEngine
+from repro.workloads import ImageClassificationWorkload, MlpClassificationWorkload
+
+
+class TestSyntheticImageGenerator:
+    def test_image_shape_and_range(self):
+        dataset = SyntheticImageGenerator(size=16, seed=1).generate(20)
+        for image, label in dataset.records:
+            assert image.shape == (16, 16)
+            assert image.dtype == np.float32
+            assert 0.0 <= float(image.min()) <= float(image.max()) <= 1.0
+            assert 0 <= label < len(TEXTURE_CLASSES)
+
+    def test_image_data_type_is_unstructured(self):
+        dataset = SyntheticImageGenerator(seed=2).generate(3)
+        assert dataset.data_type is DataType.IMAGE
+        assert dataset.structure is StructureClass.UNSTRUCTURED
+
+    def test_metadata_carries_classes(self):
+        dataset = SyntheticImageGenerator(size=8, seed=3).generate(3)
+        assert dataset.metadata["classes"] == TEXTURE_CLASSES
+        assert dataset.metadata["image_size"] == 8
+
+    def test_estimated_bytes_counts_pixels(self):
+        dataset = SyntheticImageGenerator(size=8, seed=4).generate(2)
+        # 2 images × 8×8 float32 + 2 int labels.
+        assert dataset.estimated_bytes() == 2 * 8 * 8 * 4 + 2 * 8
+
+    def test_deterministic(self):
+        a = SyntheticImageGenerator(seed=5).generate(5)
+        b = SyntheticImageGenerator(seed=5).generate(5)
+        for (image_a, label_a), (image_b, label_b) in zip(a.records, b.records):
+            assert label_a == label_b
+            assert np.array_equal(image_a, image_b)
+
+    def test_validation(self):
+        with pytest.raises(GenerationError):
+            SyntheticImageGenerator(size=2)
+        with pytest.raises(GenerationError):
+            SyntheticImageGenerator(noise=-0.1)
+
+    def test_all_classes_appear(self):
+        dataset = SyntheticImageGenerator(seed=6).generate(100)
+        labels = {label for _, label in dataset.records}
+        assert labels == set(range(len(TEXTURE_CLASSES)))
+
+
+class TestImageFeatures:
+    def test_feature_length(self):
+        image = np.zeros((16, 16), dtype=np.float32)
+        assert len(image_features(image, histogram_bins=8)) == 11
+
+    def test_histogram_normalised(self):
+        image = np.random.default_rng(1).random((16, 16)).astype(np.float32)
+        features = image_features(image)
+        assert features[:8].sum() == pytest.approx(1.0)
+
+    def test_features_separate_classes(self):
+        generator = SyntheticImageGenerator(seed=7)
+        dataset = generator.generate(60)
+        # Checkerboards have far higher edge energy than blobs.
+        checker = [image_features(img) for img, lab in dataset.records
+                   if lab == TEXTURE_CLASSES.index("checkerboard")]
+        blobs = [image_features(img) for img, lab in dataset.records
+                 if lab == TEXTURE_CLASSES.index("blob")]
+        if checker and blobs:
+            checker_edges = np.mean([f[8] + f[9] for f in checker])
+            blob_edges = np.mean([f[8] + f[9] for f in blobs])
+            assert checker_edges > blob_edges
+
+
+class TestImageClassificationWorkload:
+    def test_high_accuracy_on_distinct_textures(self):
+        images = SyntheticImageGenerator(seed=8).generate(120)
+        result = ImageClassificationWorkload().run(MapReduceEngine(), images)
+        assert result.extra["accuracy"] > 0.85
+
+    def test_train_fraction_validation(self):
+        images = SyntheticImageGenerator(seed=9).generate(20)
+        with pytest.raises(ExecutionError):
+            ImageClassificationWorkload().run(
+                MapReduceEngine(), images, train_fraction=1.0
+            )
+
+    def test_reports_classes(self):
+        images = SyntheticImageGenerator(seed=10).generate(80)
+        result = ImageClassificationWorkload().run(MapReduceEngine(), images)
+        assert set(result.output["classes"]) <= set(
+            range(len(TEXTURE_CLASSES))
+        )
+
+    def test_prescribed_run(self):
+        from repro.core.test_generator import TestGenerator
+
+        test = TestGenerator().generate(
+            "multimedia-image-classification", "mapreduce", 60
+        )
+        result = test.run()
+        assert result.records_in == 60
+
+
+class TestMlpClassificationWorkload:
+    @pytest.fixture()
+    def separable_data(self):
+        return GaussianMixtureGenerator(
+            num_components=3, dimensions=2, spread=12.0, cluster_std=0.8,
+            seed=11,
+        ).generate(300)
+
+    def test_learns_separable_classes(self, separable_data):
+        result = MlpClassificationWorkload().run(
+            MapReduceEngine(), separable_data, max_epochs=30, seed=1
+        )
+        assert result.extra["accuracy"] > 0.9
+
+    def test_loss_decreases(self, separable_data):
+        result = MlpClassificationWorkload().run(
+            MapReduceEngine(), separable_data, max_epochs=20, seed=2
+        )
+        losses = result.output["loss_curve"]
+        assert losses[-1] < losses[0]
+
+    def test_epoch_count_is_runtime_determined(self, separable_data):
+        """The iterative-operation pattern: epochs depend on convergence."""
+        eager = MlpClassificationWorkload().run(
+            MapReduceEngine(), separable_data,
+            max_epochs=50, min_loss_improvement=0.5, seed=3,
+        )
+        patient = MlpClassificationWorkload().run(
+            MapReduceEngine(), separable_data,
+            max_epochs=50, min_loss_improvement=0.0, seed=3,
+        )
+        assert eager.extra["epochs"] < patient.extra["epochs"]
+
+    def test_requires_labelled_table(self, retail_tables):
+        with pytest.raises(ExecutionError):
+            MlpClassificationWorkload().run(
+                MapReduceEngine(), retail_tables["orders"]
+            )
+
+    def test_too_few_rows_rejected(self):
+        tiny = GaussianMixtureGenerator(seed=12).generate(5)
+        with pytest.raises(ExecutionError):
+            MlpClassificationWorkload().run(MapReduceEngine(), tiny)
+
+    def test_deterministic_per_seed(self, separable_data):
+        runs = [
+            MlpClassificationWorkload().run(
+                MapReduceEngine(), separable_data, max_epochs=10, seed=4
+            ).output["loss_curve"]
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]

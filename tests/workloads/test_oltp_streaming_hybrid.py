@@ -1,0 +1,216 @@
+"""Tests for OLTP (YCSB), streaming, and hybrid workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ExecutionError
+from repro.datagen.kv import KeyValueGenerator
+from repro.datagen.stream import PoissonArrivals, StreamGenerator
+from repro.datagen.weblog import WebLogGenerator
+from repro.engines.dbms import DbmsEngine
+from repro.engines.nosql import NoSqlStore
+from repro.engines.streaming import StreamingEngine
+from repro.workloads import (
+    ArrivalPattern,
+    HybridWorkload,
+    RollingUpdateRateWorkload,
+    WindowedAggregationWorkload,
+    YcsbWorkload,
+    profile_arrival_pattern,
+)
+
+
+@pytest.fixture()
+def kv_data():
+    return KeyValueGenerator(field_count=3, field_length=10, seed=1).generate(80)
+
+
+class TestYcsbWorkload:
+    def test_runs_on_nosql(self, kv_data):
+        result = YcsbWorkload().run(
+            NoSqlStore(seed=2), kv_data, workload_mix="A", operation_count=200
+        )
+        assert result.records_out == 200
+        assert len(result.latencies) == 200
+        assert result.simulated_seconds > 0
+
+    def test_runs_on_dbms(self, kv_data):
+        result = YcsbWorkload().run(
+            DbmsEngine(), kv_data, workload_mix="A", operation_count=100
+        )
+        assert result.records_out == 100
+        assert len(result.latencies) == 100
+
+    def test_all_standard_mixes_run(self, kv_data):
+        for mix in ("A", "B", "C", "D", "E", "F"):
+            result = YcsbWorkload().run(
+                NoSqlStore(seed=3), kv_data,
+                workload_mix=mix, operation_count=60,
+            )
+            assert result.extra["mix"] == mix
+
+    def test_unknown_mix_rejected(self, kv_data):
+        with pytest.raises(ExecutionError):
+            YcsbWorkload().run(
+                NoSqlStore(seed=4), kv_data, workload_mix="Z"
+            )
+
+    def test_deterministic_per_seed(self, kv_data):
+        results = [
+            YcsbWorkload().run(
+                NoSqlStore(seed=5), kv_data,
+                workload_mix="B", operation_count=100, seed=6,
+            ).latencies
+            for _ in range(2)
+        ]
+        assert results[0] == results[1]
+
+    def test_supports_both_engines(self):
+        assert YcsbWorkload().supported_engines() == ("dbms", "nosql")
+
+
+class TestWindowedAggregation:
+    def test_window_counts_cover_all_events(self):
+        stream = StreamGenerator(
+            arrivals=PoissonArrivals(1000.0), key_space=4, seed=7
+        ).generate(500)
+        result = WindowedAggregationWorkload().run(
+            StreamingEngine(), stream, window_seconds=0.1
+        )
+        assert sum(window.value for window in result.output) == 500
+
+    def test_keeps_up_flag_tracks_rates(self):
+        stream = StreamGenerator(
+            arrivals=PoissonArrivals(100_000.0), seed=8
+        ).generate(400)
+        slow_engine = StreamingEngine(service_seconds_per_event=1e-3)
+        result = WindowedAggregationWorkload().run(slow_engine, stream)
+        assert not result.extra["keeps_up"]
+        fast_engine = StreamingEngine(service_seconds_per_event=1e-6)
+        result2 = WindowedAggregationWorkload().run(fast_engine, stream)
+        assert result2.extra["keeps_up"]
+
+    def test_latencies_recorded_per_event(self):
+        stream = StreamGenerator(seed=9).generate(100)
+        result = WindowedAggregationWorkload().run(StreamingEngine(), stream)
+        assert len(result.latencies) == 100
+
+
+class TestRollingUpdateRate:
+    def test_counts_only_updates(self):
+        stream = StreamGenerator(
+            arrivals=PoissonArrivals(1000.0), update_fraction=0.5, seed=10
+        ).generate(600)
+        result = RollingUpdateRateWorkload().run(
+            StreamingEngine(), stream,
+            window_seconds=0.2, slide_seconds=0.1,
+        )
+        from repro.datagen.stream import EventKind
+
+        updates = sum(
+            1 for event in stream.records if event.kind is EventKind.UPDATE
+        )
+        # Size = 2x slide → each update lands in ≤2 windows.
+        total = sum(window.value for window in result.output)
+        assert updates <= total <= 2 * updates
+
+
+class TestArrivalProfiling:
+    def test_profile_from_weblog(self, retail_tables):
+        weblog = WebLogGenerator(
+            retail_tables["customers"], retail_tables["products"], seed=11
+        ).generate(300)
+        pattern = profile_arrival_pattern(weblog)
+        assert pattern.total_rate > 0
+        assert "read" in pattern.rates  # GETs dominate the embedded mix
+        assert len(pattern.sequence) == 300
+
+    def test_mix_probabilities_sum_to_one(self, retail_tables):
+        weblog = WebLogGenerator(
+            retail_tables["customers"], retail_tables["products"], seed=12
+        ).generate(100)
+        pattern = profile_arrival_pattern(weblog)
+        assert sum(pattern.mix_probabilities().values()) == pytest.approx(1.0)
+
+    def test_requires_weblog_type(self, text_corpus):
+        with pytest.raises(ExecutionError):
+            profile_arrival_pattern(text_corpus)
+
+    def test_zero_rate_pattern_rejected(self):
+        with pytest.raises(ExecutionError):
+            ArrivalPattern(rates={}).mix_probabilities()
+
+
+class TestHybridWorkload:
+    def test_runs_with_default_pattern(self, kv_data):
+        result = HybridWorkload().run(
+            NoSqlStore(seed=13), kv_data, operation_count=200
+        )
+        counts = result.extra["per_class_counts"]
+        assert counts["read"] > counts["insert"]
+        assert counts["scan"] > 0  # analytics interleaved
+
+    def test_profiled_pattern_drives_mix(self, kv_data, retail_tables):
+        weblog = WebLogGenerator(
+            retail_tables["customers"], retail_tables["products"], seed=14
+        ).generate(300)
+        pattern = profile_arrival_pattern(weblog)
+        result = HybridWorkload().run(
+            NoSqlStore(seed=15), kv_data,
+            arrival_pattern=pattern, operation_count=300,
+        )
+        counts = result.extra["per_class_counts"]
+        # GET-dominated logs → read-dominated store traffic.
+        assert counts["read"] == max(
+            v for k, v in counts.items() if k != "scan"
+        )
+
+    def test_scans_interfere_with_serving_latency(self, kv_data):
+        """The E12 rationale: hybrid scans make serving ops slower than
+        an isolated serving-only run."""
+        serving_only = HybridWorkload().run(
+            NoSqlStore(seed=16), kv_data,
+            operation_count=300, analytics_every=0,
+        )
+        hybrid = HybridWorkload().run(
+            NoSqlStore(seed=16), kv_data,
+            operation_count=300, analytics_every=20,
+            analytics_scan_length=500,
+        )
+        assert hybrid.simulated_seconds > serving_only.simulated_seconds
+
+    def test_empty_dataset_rejected(self):
+        from repro.datagen.base import DataType, as_dataset
+
+        empty = as_dataset([], DataType.KEY_VALUE)
+        with pytest.raises(ExecutionError):
+            HybridWorkload().run(NoSqlStore(seed=17), empty)
+
+    def test_sequence_replay_follows_profiled_order(self, kv_data, retail_tables):
+        """§5.2: arrival patterns include the operation *sequence*."""
+        weblog = WebLogGenerator(
+            retail_tables["customers"], retail_tables["products"], seed=18
+        ).generate(200)
+        pattern = profile_arrival_pattern(weblog)
+        result = HybridWorkload().run(
+            NoSqlStore(seed=19), kv_data,
+            arrival_pattern=pattern, operation_count=150,
+            analytics_every=0, replay_sequence=True,
+        )
+        counts = result.extra["per_class_counts"]
+        # The executed counts must match the profiled sequence's first
+        # 150 operations exactly (deterministic replay, no sampling).
+        from collections import Counter
+
+        expected = Counter(pattern.sequence[:150])
+        for name, count in expected.items():
+            assert counts[name] == count
+
+    def test_sequence_replay_requires_a_sequence(self, kv_data):
+        pattern = ArrivalPattern(rates={"read": 1.0})
+        with pytest.raises(ExecutionError):
+            HybridWorkload().run(
+                NoSqlStore(seed=20), kv_data,
+                arrival_pattern=pattern, replay_sequence=True,
+            )

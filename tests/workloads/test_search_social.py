@@ -1,0 +1,179 @@
+"""Tests for search-engine and social-network workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.base import DataType, as_dataset
+from repro.datagen.graph import RmatGraphGenerator
+from repro.datagen.mixture import GaussianMixtureGenerator
+from repro.datagen.text import tokenize
+from repro.engines.mapreduce import MapReduceEngine
+from repro.workloads import (
+    ConnectedComponentsWorkload,
+    InvertedIndexWorkload,
+    KMeansWorkload,
+    PageRankWorkload,
+)
+
+
+class TestInvertedIndex:
+    @pytest.fixture()
+    def documents(self):
+        return as_dataset(
+            ["apple banana", "banana cherry", "apple apple"], DataType.TEXT
+        )
+
+    def test_postings_are_correct(self, documents):
+        result = InvertedIndexWorkload().run(MapReduceEngine(), documents)
+        index = result.output
+        assert index["apple"] == [(0, 1), (2, 2)]
+        assert index["banana"] == [(0, 1), (1, 1)]
+        assert index["cherry"] == [(1, 1)]
+
+    def test_every_token_is_indexed(self, text_corpus):
+        small = as_dataset(text_corpus.records[:20], DataType.TEXT)
+        result = InvertedIndexWorkload().run(MapReduceEngine(), small)
+        tokens = set()
+        for document in small.records:
+            tokens.update(tokenize(document))
+        assert set(result.output) == tokens
+
+    def test_postings_lists_are_sorted(self, text_corpus):
+        small = as_dataset(text_corpus.records[:15], DataType.TEXT)
+        result = InvertedIndexWorkload().run(MapReduceEngine(), small)
+        for postings in result.output.values():
+            assert postings == sorted(postings)
+
+
+class TestPageRank:
+    @pytest.fixture()
+    def chain_graph(self):
+        # 0 -> 1 -> 2 -> 3: rank accumulates towards the sink.
+        return as_dataset([(0, 1), (1, 2), (2, 3)], DataType.GRAPH)
+
+    def test_ranks_sum_to_one(self, chain_graph):
+        result = PageRankWorkload().run(MapReduceEngine(), chain_graph)
+        assert sum(result.output.values()) == pytest.approx(1.0, abs=0.05)
+
+    def test_sink_outranks_source(self, chain_graph):
+        result = PageRankWorkload().run(MapReduceEngine(), chain_graph)
+        assert result.output[3] > result.output[0]
+
+    def test_hub_attracts_rank(self):
+        star = as_dataset(
+            [(1, 0), (2, 0), (3, 0), (4, 0)], DataType.GRAPH
+        )
+        result = PageRankWorkload().run(MapReduceEngine(), star)
+        ranks = result.output
+        assert ranks[0] == max(ranks.values())
+
+    def test_convergence_stops_before_cap(self, chain_graph):
+        result = PageRankWorkload().run(
+            MapReduceEngine(), chain_graph, tolerance=1e-3, max_iterations=50
+        )
+        assert result.extra["iterations"] < 50
+        assert result.extra["final_delta"] <= 1e-3
+
+    def test_iteration_cap_respected(self, chain_graph):
+        result = PageRankWorkload().run(
+            MapReduceEngine(), chain_graph, tolerance=0.0, max_iterations=3
+        )
+        assert result.extra["iterations"] == 3
+
+    def test_empty_graph(self):
+        empty = as_dataset([], DataType.GRAPH)
+        result = PageRankWorkload().run(MapReduceEngine(), empty)
+        assert result.output == {}
+
+    def test_rmat_graph_runs(self):
+        graph = RmatGraphGenerator(seed=1).generate(64)
+        result = PageRankWorkload().run(
+            MapReduceEngine(), graph, max_iterations=5
+        )
+        assert len(result.output) > 0
+
+
+class TestKMeans:
+    def test_recovers_planted_clusters(self):
+        data = GaussianMixtureGenerator(
+            num_components=3, spread=30.0, cluster_std=0.5, seed=2
+        ).generate(150)
+        result = KMeansWorkload().run(
+            MapReduceEngine(), data, num_clusters=3, max_iterations=15
+        )
+        assignments = result.output["assignments"]
+        truth = [row[-1] for row in data.records]
+        # Clusters are a permutation of the truth: each found cluster must
+        # be dominated by a single true component.
+        from collections import Counter, defaultdict
+
+        by_cluster = defaultdict(Counter)
+        for found, true in zip(assignments, truth):
+            by_cluster[found][true] += 1
+        purity = sum(c.most_common(1)[0][1] for c in by_cluster.values())
+        assert purity / len(truth) > 0.9
+
+    def test_centroid_count(self):
+        data = GaussianMixtureGenerator(seed=3).generate(80)
+        result = KMeansWorkload().run(
+            MapReduceEngine(), data, num_clusters=4, max_iterations=5
+        )
+        assert len(result.output["centroids"]) == 4
+
+    def test_convergence_recorded(self):
+        data = GaussianMixtureGenerator(seed=4).generate(80)
+        result = KMeansWorkload().run(
+            MapReduceEngine(), data, num_clusters=4, max_iterations=30
+        )
+        assert result.extra["iterations"] <= 30
+        assert result.extra["movement"] >= 0.0
+
+    def test_too_few_points_rejected(self):
+        from repro.core.errors import ExecutionError
+
+        data = GaussianMixtureGenerator(seed=5).generate(2)
+        with pytest.raises(ExecutionError):
+            KMeansWorkload().run(MapReduceEngine(), data, num_clusters=5)
+
+
+class TestConnectedComponents:
+    def test_two_components_found(self):
+        graph = as_dataset(
+            [(0, 1), (1, 2), (5, 6), (6, 7)], DataType.GRAPH
+        )
+        result = ConnectedComponentsWorkload().run(MapReduceEngine(), graph)
+        assert result.extra["num_components"] == 2
+        labels = result.output
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[5] == labels[6] == labels[7]
+        assert labels[0] != labels[5]
+
+    def test_labels_are_component_minimum(self):
+        graph = as_dataset([(3, 7), (7, 9)], DataType.GRAPH)
+        result = ConnectedComponentsWorkload().run(MapReduceEngine(), graph)
+        assert set(result.output.values()) == {3}
+
+    def test_matches_reference_union_find(self, social_graph):
+        result = ConnectedComponentsWorkload().run(
+            MapReduceEngine(), social_graph
+        )
+        # Reference: classic union-find.
+        parent: dict[int, int] = {}
+
+        def find(x: int) -> int:
+            parent.setdefault(x, x)
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for src, dst in social_graph.records:
+            parent[find(src)] = find(dst)
+        reference_components = len({find(v) for v in parent})
+        assert result.extra["num_components"] == reference_components
+
+    def test_single_vertex_graph(self):
+        graph = as_dataset([(4, 4)], DataType.GRAPH)
+        result = ConnectedComponentsWorkload().run(MapReduceEngine(), graph)
+        assert result.extra["num_components"] == 1

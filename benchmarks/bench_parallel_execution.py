@@ -1,0 +1,161 @@
+"""E13 — the parallel execution layer and the deterministic dataset cache.
+
+Times the same cross-engine comparison (``database-aggregate-join`` on
+DBMS, MapReduce, and NoSQL — the paper's functional-view experiment) on
+each executor backend and verifies the layer's two contracts:
+
+1. **determinism** — every backend reports identical means for the
+   deterministic metrics (simulated-cluster and seeded-latency metrics;
+   wall-clock timings are measurements, not answers);
+2. **no redundant generation** — the dataset cache serves one generated
+   data set to all three engines (1 miss, N−1 hits).
+
+Each run appends a JSON row to ``BENCH_parallel_execution.json`` so the
+serial/thread/process timings accumulate into a perf trajectory across
+revisions.  On multi-core hosts the pooled backends overlap independent
+engine runs; on a single core they can only tie serial, so the timing
+columns are recorded, not asserted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import pytest
+from conftest import print_banner
+
+from repro.execution.harness import BenchmarkHarness
+from repro.execution.report import ascii_table
+from repro.execution.runner import RunnerOptions, TestRunner
+
+ENGINES = ["dbms", "mapreduce", "nosql"]
+PRESCRIPTION = "database-aggregate-join"
+VOLUME = 300
+BACKENDS = ("serial", "thread", "process")
+
+#: Metrics whose means must match across backends (see
+#: tests/execution/test_parallel.py for the per-engine rationale).
+DETERMINISTIC_METRICS = {
+    "mapreduce": [
+        "throughput", "ops_per_second", "data_rate",
+        "network_rate", "energy", "cost",
+    ],
+    "nosql": ["throughput", "mean_latency", "latency_p95", "latency_p99"],
+    "dbms": [],
+}
+
+RESULTS_FILE = Path(__file__).parent / "BENCH_parallel_execution.json"
+
+
+def _deterministic_means(results) -> dict[str, float]:
+    means = {}
+    for result in results:
+        for name in DETERMINISTIC_METRICS[result.engine]:
+            if name in result.metrics:
+                means[f"{result.engine}.{name}"] = result.mean(name)
+    return means
+
+
+def _timed_compare(backend: str):
+    options = RunnerOptions(executor=backend, max_workers=len(ENGINES))
+    with TestRunner(options=options) as runner:
+        harness = BenchmarkHarness(runner)
+        started = time.perf_counter()
+        analyzer = harness.compare_engines(PRESCRIPTION, ENGINES, VOLUME)
+        elapsed = time.perf_counter() - started
+        cache_stats = runner.test_generator.dataset_cache.stats()
+    return elapsed, analyzer.results, cache_stats
+
+
+def _append_trajectory_row(row: dict) -> None:
+    history = []
+    if RESULTS_FILE.exists():
+        history = json.loads(RESULTS_FILE.read_text())
+    history.append(row)
+    RESULTS_FILE.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def test_executor_backends_cross_engine(benchmark):
+    def drive():
+        measurements = {}
+        for backend in BACKENDS:
+            elapsed, results, cache_stats = _timed_compare(backend)
+            measurements[backend] = {
+                "seconds": elapsed,
+                "means": _deterministic_means(results),
+                "cache": cache_stats,
+            }
+        return measurements
+
+    measurements = benchmark.pedantic(drive, rounds=2, iterations=1)
+
+    print_banner("E13", "executor backends — cross-engine comparison")
+    print(
+        ascii_table(
+            [
+                {
+                    "backend": backend,
+                    "seconds": data["seconds"],
+                    "vs serial": data["seconds"]
+                    / measurements["serial"]["seconds"],
+                    "cache hits": data["cache"]["hits"],
+                    "cache misses": data["cache"]["misses"],
+                }
+                for backend, data in measurements.items()
+            ]
+        )
+    )
+
+    # Contract 1: identical deterministic metric means on every backend.
+    serial_means = measurements["serial"]["means"]
+    assert serial_means, "expected deterministic metrics to compare"
+    for backend in BACKENDS:
+        assert measurements[backend]["means"] == serial_means, backend
+
+    # Contract 2: one generation feeds all engines (serial and thread
+    # share the parent cache; process workers regenerate independently).
+    for backend in ("serial", "thread"):
+        assert measurements[backend]["cache"]["misses"] == 1
+        assert measurements[backend]["cache"]["hits"] == len(ENGINES) - 1
+
+    _append_trajectory_row(
+        {
+            "benchmark": "parallel_execution.cross_engine",
+            "prescription": PRESCRIPTION,
+            "volume": VOLUME,
+            "engines": ENGINES,
+            "cpus": os.cpu_count(),
+            "python": platform.python_version(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "seconds": {
+                backend: measurements[backend]["seconds"]
+                for backend in BACKENDS
+            },
+            "speedup_vs_serial": {
+                backend: measurements["serial"]["seconds"]
+                / measurements[backend]["seconds"]
+                for backend in BACKENDS
+            },
+        }
+    )
+
+
+def test_dataset_cache_scaling(benchmark):
+    """Cache value grows with repeats × engines: still exactly one miss."""
+
+    def drive():
+        options = RunnerOptions(repeats=3)
+        with TestRunner(options=options) as runner:
+            runner.run_on_engines(PRESCRIPTION, ENGINES, VOLUME)
+            return runner.test_generator.dataset_cache.stats()
+
+    stats = benchmark.pedantic(drive, rounds=2, iterations=1)
+    print_banner("E13", "dataset cache — one generation per unique request")
+    print(ascii_table([stats]))
+    assert stats["misses"] == 1
+    assert stats["hits"] == len(ENGINES) - 1
+    assert stats["hit_rate"] == pytest.approx((len(ENGINES) - 1) / len(ENGINES))

@@ -47,6 +47,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--repeats", type=int, default=1)
     run_parser.add_argument("--partitions", type=int, default=1,
                             help="parallel data-generator partitions")
+    run_parser.add_argument("--executor", default="serial",
+                            choices=["serial", "thread", "process"],
+                            help="fan-out backend for independent runs")
+    run_parser.add_argument("--workers", type=int, default=None,
+                            help="worker count for the pooled executor "
+                                 "backends (default: one per CPU)")
     run_parser.add_argument("--param", action="append", default=[],
                             metavar="KEY=VALUE",
                             help="workload parameter override")
@@ -147,6 +153,8 @@ def _command_run(args, out) -> int:
         repeats=args.repeats,
         data_partitions=args.partitions,
         params=_parse_params(args.param),
+        executor=args.executor,
+        max_workers=args.workers,
     )
     report = framework.run(spec)
     if args.json:
@@ -156,6 +164,10 @@ def _command_run(args, out) -> int:
     for step in report.steps:
         print(f"  {step.step:22s} {step.elapsed_seconds * 1e3:10.2f} ms",
               file=out)
+    cache_stats = report.step("execution").detail.get("dataset_cache")
+    if cache_stats:
+        print(f"dataset cache: {cache_stats['hits']} hits, "
+              f"{cache_stats['misses']} misses", file=out)
     metric_names = (
         framework.prescription(args.prescription).metric_names
         or ["duration", "throughput"]

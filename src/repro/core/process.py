@@ -12,7 +12,6 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.core import registry
 from repro.core.prescription import PrescriptionRepository, builtin_repository
 from repro.core.results import ResultAnalyzer, RunResult
 from repro.core.spec import BenchmarkSpec
@@ -131,28 +130,55 @@ class BenchmarkingProcess:
             )
         )
 
-        # Step 4: Execution — repeats on fresh engines.
+        # Step 4: Execution — repeats on fresh engines, fanned out over
+        # the spec's executor backend through the test runner.  The
+        # runner regenerates each test, but the data set is served from
+        # the dataset cache warmed by step 2, so generation happens once
+        # for the whole run.
         started = time.perf_counter()
-        for test, engine_name in zip(tests, engine_names):
-            workload_results = []
-            for _ in range(spec.repeats):
-                fresh = PrescribedTest(
-                    prescription=prescription,
-                    engine=registry.engines.create(engine_name)
-                    if engine_name in registry.engines
-                    else test.engine,
-                    workload=workload,
-                    dataset=dataset,
-                )
-                workload_results.append(fresh.run(**spec.params))
-            report.results.append(
-                RunResult.from_workload_results(test.name, workload_results)
+        from repro.execution.runner import RunnerOptions, RunTask, TestRunner
+
+        runner = TestRunner(
+            test_generator=self.test_generator,
+            options=RunnerOptions(
+                repeats=spec.repeats,
+                check_format=False,
+                executor=spec.executor,
+                max_workers=spec.max_workers,
+            ),
+        )
+        # Bare registry engines, exactly as the historical per-step loop
+        # built them (assigned after construction: an empty dict would
+        # otherwise be replaced by the default configuration table).
+        runner.configurations = {}
+        run_tasks = [
+            RunTask(
+                prescription,
+                engine_name,
+                spec.volume,
+                dict(spec.params),
+                data_partitions=(
+                    spec.data_partitions if spec.data_partitions > 1 else None
+                ),
             )
+            for engine_name in engine_names
+        ]
+        try:
+            report.results.extend(runner.run_many(run_tasks))
+        finally:
+            runner.close()
+        execution_detail: dict[str, Any] = {
+            "runs": spec.repeats * len(tests),
+            "executor": spec.executor,
+        }
+        cache = self.test_generator.dataset_cache
+        if cache is not None:
+            execution_detail["dataset_cache"] = cache.stats()
         report.steps.append(
             StepReport(
                 "execution",
                 time.perf_counter() - started,
-                {"runs": spec.repeats * len(tests)},
+                execution_detail,
             )
         )
 

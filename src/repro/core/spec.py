@@ -32,6 +32,10 @@ class BenchmarkSpec:
     repeats: int = 1
     #: Workload parameter overrides.
     params: dict = field(default_factory=dict)
+    #: Fan-out backend for independent runs: "serial", "thread", "process".
+    executor: str = "serial"
+    #: Worker count for the pooled executor backends; None = one per CPU.
+    max_workers: int | None = None
 
     def validate(self, repository: PrescriptionRepository) -> None:
         """Raise :class:`SpecError` on any inconsistency."""
@@ -48,6 +52,19 @@ class BenchmarkSpec:
             )
         if self.repeats <= 0:
             raise SpecError(f"repeats must be positive, got {self.repeats}")
+        # Imported lazily: core.spec must not pull the execution package
+        # in at import time.
+        from repro.execution.parallel import EXECUTOR_BACKENDS
+
+        if self.executor not in EXECUTOR_BACKENDS:
+            raise SpecError(
+                f"unknown executor backend {self.executor!r}; "
+                f"available: {', '.join(EXECUTOR_BACKENDS)}"
+            )
+        if self.max_workers is not None and self.max_workers <= 0:
+            raise SpecError(
+                f"max_workers must be positive, got {self.max_workers}"
+            )
         prescription = repository.get(self.prescription)
         workload_name = prescription.workload
         if workload_name not in registry.workloads:

@@ -32,6 +32,7 @@ from repro.core.prescription import (
     load_seed,
 )
 from repro.datagen.base import DataGenerator, DataSet
+from repro.datagen.cache import DatasetCache
 from repro.engines.base import Engine
 
 
@@ -69,20 +70,38 @@ class TestGenerator:
         generator_registry: registry.Registry | None = None,
         workload_registry: registry.Registry | None = None,
         engine_registry: registry.Registry | None = None,
+        dataset_cache: DatasetCache | None = None,
+        cache_datasets: bool = True,
     ) -> None:
         self.repository = repository or builtin_repository()
         self.generators = generator_registry or registry.generators
         self.workloads = workload_registry or registry.workloads
         self.engines = engine_registry or registry.engines
+        #: Deterministic generation means identical (generator, seed,
+        #: volume, partitions, fit source) requests produce identical
+        #: records, so they share one cached data set across engines,
+        #: repeats, and sweep points.  Pass ``cache_datasets=False`` to
+        #: regenerate on every request instead.
+        if dataset_cache is None and cache_datasets:
+            dataset_cache = DatasetCache()
+        self.dataset_cache = dataset_cache
 
     # ------------------------------------------------------------------
     # Step 1: data selection
     # ------------------------------------------------------------------
 
     def select_data(
-        self, requirement: DataRequirement, volume_override: int | None = None
+        self,
+        requirement: DataRequirement,
+        volume_override: int | None = None,
+        partitions_override: int | None = None,
     ) -> DataSet:
-        """Instantiate, fit, and run the generator a prescription names."""
+        """Instantiate, fit, and run the generator a prescription names.
+
+        Identical requests are served from :attr:`dataset_cache` (when
+        enabled); generation is deterministic, so the cached data set is
+        record-for-record what a fresh generation would produce.
+        """
         generator: DataGenerator = self.generators.create(requirement.generator)
         if generator.data_type is not requirement.data_type:
             raise TestGenerationError(
@@ -90,11 +109,40 @@ class TestGenerator:
                 f"{generator.data_type.label}, but the prescription needs "
                 f"{requirement.data_type.label}"
             )
+        volume = volume_override if volume_override is not None else requirement.volume
+        num_partitions = (
+            partitions_override
+            if partitions_override is not None
+            else requirement.num_partitions
+        )
+        if self.dataset_cache is None:
+            return self._generate_data(generator, requirement, volume, num_partitions)
+        key = DatasetCache.make_key(
+            requirement.generator,
+            generator.seed,
+            volume,
+            num_partitions,
+            requirement.fit_on,
+        )
+        return self.dataset_cache.get_or_generate(
+            key,
+            lambda: self._generate_data(
+                generator, requirement, volume, num_partitions
+            ),
+        )
+
+    def _generate_data(
+        self,
+        generator: DataGenerator,
+        requirement: DataRequirement,
+        volume: int,
+        num_partitions: int,
+    ) -> DataSet:
+        """The uncached generation path (fit, then generate)."""
         if requirement.fit_on is not None:
             generator.fit(load_seed(requirement.fit_on))
-        volume = volume_override if volume_override is not None else requirement.volume
-        if requirement.num_partitions > 1:
-            return generator.generate_parallel(volume, requirement.num_partitions)
+        if num_partitions > 1:
+            return generator.generate_parallel(volume, num_partitions)
         return generator.generate(volume)
 
     # ------------------------------------------------------------------
@@ -140,6 +188,7 @@ class TestGenerator:
         prescription: Prescription | str,
         engine_name: str,
         volume_override: int | None = None,
+        partitions_override: int | None = None,
     ) -> PrescribedTest:
         """Produce a prescribed test for one engine (Figure 4, step 5)."""
         if isinstance(prescription, str):
@@ -151,7 +200,9 @@ class TestGenerator:
                 f"{engine_name!r}; supported: {workload.supported_engines()}"
             )
         engine: Engine = self.engines.create(engine_name)
-        dataset = self.select_data(prescription.data, volume_override)
+        dataset = self.select_data(
+            prescription.data, volume_override, partitions_override
+        )
         return PrescribedTest(
             prescription=prescription,
             engine=engine,

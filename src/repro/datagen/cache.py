@@ -1,0 +1,171 @@
+"""A content-addressed cache of deterministically generated data sets.
+
+Figure 3's generation process is deterministic by construction: a
+generator seeded with ``s`` always produces the same records for the same
+volume and partitioning (see :func:`repro.datagen.base.mix_seed`).  That
+makes the generated data *content-addressable* — the tuple (generator
+name, seed, parameters, volume, partitions, fit source) fully determines
+the output — so cross-engine comparisons, repeats, and sweep points that
+prescribe identical data can share one in-memory data set instead of
+regenerating it once per consumer (the BDGS scalable-generation
+requirement, applied to the single-host simulator).
+
+The cache is thread-safe: concurrent requests for the *same* key generate
+once and share the result, while distinct keys generate concurrently.
+Hit/miss counters are kept so run reports can surface how much generation
+work was avoided.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Callable, Mapping
+from typing import Any
+
+from repro.datagen.base import DataSet
+
+#: A fully-resolved cache key; see :meth:`DatasetCache.make_key`.
+CacheKey = tuple
+
+
+class DatasetCache:
+    """An LRU cache of generated :class:`DataSet` objects.
+
+    Entries are shared, not copied — callers must treat cached data sets
+    as immutable, the same contract the runner already applies when it
+    shares one data set across repeats and engines.
+    """
+
+    def __init__(self, max_entries: int | None = 32) -> None:
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError(
+                f"max_entries must be positive or None, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self._entries: OrderedDict[CacheKey, DataSet] = OrderedDict()
+        self._lock = threading.Lock()
+        self._key_locks: dict[CacheKey, threading.Lock] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def make_key(
+        generator: str,
+        seed: int,
+        volume: int,
+        num_partitions: int = 1,
+        fit_on: str | None = None,
+        params: Mapping[str, Any] | None = None,
+    ) -> CacheKey:
+        """The content address of one deterministic generation request.
+
+        Every field that can change the produced records participates:
+        the registered generator name, its seed, the requested volume,
+        the partition count (partitioned generation interleaves streams
+        differently from single-partition generation), the veracity seed
+        data, and any extra generator parameters.
+        """
+        frozen_params = (
+            tuple(sorted(params.items())) if params else ()
+        )
+        return (
+            str(generator),
+            int(seed),
+            int(volume),
+            int(num_partitions),
+            fit_on,
+            frozen_params,
+        )
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def get_or_generate(
+        self, key: CacheKey, factory: Callable[[], DataSet]
+    ) -> DataSet:
+        """Return the cached data set for ``key``, generating on miss.
+
+        Concurrent callers with the same key block on a per-key lock so
+        the factory runs exactly once; callers with different keys
+        generate concurrently.
+        """
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return cached
+            key_lock = self._key_locks.setdefault(key, threading.Lock())
+        with key_lock:
+            with self._lock:
+                cached = self._entries.get(key)
+                if cached is not None:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    return cached
+            dataset = factory()
+            self.put(key, dataset, _count_miss=True)
+            with self._lock:
+                self._key_locks.pop(key, None)
+            return dataset
+
+    def put(
+        self, key: CacheKey, dataset: DataSet, _count_miss: bool = False
+    ) -> None:
+        """Insert (or refresh) an entry, evicting the least recently used."""
+        with self._lock:
+            if _count_miss:
+                self.misses += 1
+            self._entries[key] = dataset
+            self._entries.move_to_end(key)
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+
+    def peek(self, key: CacheKey) -> DataSet | None:
+        """The cached entry, without touching counters or LRU order."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        with self._lock:
+            self._entries.clear()
+            self._key_locks.clear()
+            self.hits = 0
+            self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Hit/miss counters for run reports."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._entries),
+                "hit_rate": (self.hits / total) if total else 0.0,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DatasetCache(entries={len(self)}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )

@@ -9,6 +9,13 @@ Every phase updates Hadoop-style counters and the uniform
 :class:`~repro.engines.base.CostCounters`; a :class:`ClusterModel`
 additionally reports the makespan a simulated N-node cluster would
 achieve for the same task bag.
+
+Map tasks (one per input split) and reduce tasks (one per partition) are
+independent, so both phases fan out over a pluggable executor (see
+:mod:`repro.execution.parallel`).  Each task accumulates into its own
+counter set; the engine merges task-local counters in submission order,
+so parallel runs are bit-identical to the serial path — same output
+pairs in the same order, same counters, same costs.
 """
 
 from __future__ import annotations
@@ -58,9 +65,23 @@ def _estimate_bytes(pair: Pair) -> int:
 class MapReduceEngine(Engine):
     """A from-scratch MapReduce runtime with a simulated cluster model."""
 
-    def __init__(self, cluster: SimulatedClusterSpec | None = None) -> None:
+    def __init__(
+        self,
+        cluster: SimulatedClusterSpec | None = None,
+        executor: Any = None,
+        max_workers: int | None = None,
+    ) -> None:
         super().__init__()
         self.cluster_model = ClusterModel(cluster)
+        # Imported lazily so the engines package never pulls the
+        # execution package in at import time (the execution layer
+        # already imports engine bases).
+        from repro.execution.parallel import resolve_executor
+
+        #: Runs map tasks and reduce tasks; "serial" (default) or
+        #: "thread" — user functions are closures, so the process
+        #: backend only works for module-level mappers/reducers.
+        self.executor = resolve_executor(executor, max_workers)
 
     @property
     def info(self) -> EngineInfo:
@@ -85,9 +106,11 @@ class MapReduceEngine(Engine):
         counters = CounterGroup()
         cost = CostCounters()
 
-        map_outputs, map_task_records = self._map_phase(job, pairs, counters, cost)
+        map_outputs, map_output_sizes, map_task_records = self._map_phase(
+            job, pairs, counters, cost
+        )
         partitions, shuffle_bytes = self._shuffle_phase(
-            job, map_outputs, counters, cost
+            job, map_outputs, map_output_sizes, counters, cost
         )
         output, reduce_task_records = self._reduce_phase(
             job, partitions, counters, cost
@@ -127,31 +150,61 @@ class MapReduceEngine(Engine):
         pairs: Sequence[Pair],
         counters: CounterGroup,
         cost: CostCounters,
-    ) -> tuple[list[list[Pair]], list[int]]:
-        """Run map tasks over input splits; returns per-task outputs."""
+    ) -> tuple[list[list[Pair]], list[list[int]], list[int]]:
+        """Run map tasks over input splits; returns per-task outputs.
+
+        Tasks run on the engine's executor, each with its own counter
+        set; merging in submission order keeps the result bit-identical
+        to the serial path.  Byte sizes of the (post-combine) map output
+        are estimated here, once per pair, and reused by the shuffle.
+        """
         splits = chunked(list(pairs), job.conf.num_map_tasks)
+        task_results = self.executor.map(
+            lambda split: self._run_map_task(job, split), splits
+        )
         outputs: list[list[Pair]] = []
+        output_sizes: list[list[int]] = []
         task_records: list[int] = []
-        for split in splits:
-            task_output: list[Pair] = []
-            for key, value in split:
-                counters.increment("map", "input_records")
-                cost.records_read += 1
-                cost.bytes_read += _estimate_bytes((key, value))
-                for out_pair in job.mapper(key, value):
-                    if not isinstance(out_pair, tuple) or len(out_pair) != 2:
-                        raise EngineError(
-                            f"mapper of job {job.name!r} must yield (key, value) "
-                            f"pairs, got {out_pair!r}"
-                        )
-                    task_output.append(out_pair)
-                    counters.increment("map", "output_records")
-                    cost.compute_ops += 1
-            if job.combiner is not None:
-                task_output = self._combine(job, task_output, counters, cost)
+        for task_output, task_sizes, task_counters, task_cost, records in (
+            task_results
+        ):
+            counters.merge(task_counters)
+            cost.merge(task_cost)
             outputs.append(task_output)
-            task_records.append(len(split) + len(task_output))
-        return outputs, task_records
+            output_sizes.append(task_sizes)
+            task_records.append(records)
+        return outputs, output_sizes, task_records
+
+    def _run_map_task(
+        self, job: MapReduceJob, split: Sequence[Pair]
+    ) -> tuple[list[Pair], list[int], CounterGroup, CostCounters, int]:
+        """One map task over one split, with task-local accounting."""
+        counters = CounterGroup()
+        cost = CostCounters()
+        task_output: list[Pair] = []
+        for key, value in split:
+            counters.increment("map", "input_records")
+            cost.records_read += 1
+            cost.bytes_read += _estimate_bytes((key, value))
+            for out_pair in job.mapper(key, value):
+                if not isinstance(out_pair, tuple) or len(out_pair) != 2:
+                    raise EngineError(
+                        f"mapper of job {job.name!r} must yield (key, value) "
+                        f"pairs, got {out_pair!r}"
+                    )
+                task_output.append(out_pair)
+                counters.increment("map", "output_records")
+                cost.compute_ops += 1
+        if job.combiner is not None:
+            task_output = self._combine(job, task_output, counters, cost)
+        task_sizes = [_estimate_bytes(pair) for pair in task_output]
+        return (
+            task_output,
+            task_sizes,
+            counters,
+            cost,
+            len(split) + len(task_output),
+        )
 
     def _combine(
         self,
@@ -178,17 +231,22 @@ class MapReduceEngine(Engine):
         self,
         job: MapReduceJob,
         map_outputs: list[list[Pair]],
+        map_output_sizes: list[list[int]],
         counters: CounterGroup,
         cost: CostCounters,
     ) -> tuple[list[dict[Any, list[Any]]], int]:
-        """Partition and group map output; returns per-reducer groups."""
+        """Partition and group map output; returns per-reducer groups.
+
+        Byte sizes were estimated once per pair by the map tasks, so the
+        shuffle only sums them instead of re-walking every key/value.
+        """
         num_reducers = job.conf.num_reduce_tasks
         partitions: list[dict[Any, list[Any]]] = [
             defaultdict(list) for _ in range(num_reducers)
         ]
         shuffle_bytes = 0
-        for task_output in map_outputs:
-            for key, value in task_output:
+        for task_output, task_sizes in zip(map_outputs, map_output_sizes):
+            for (key, value), pair_bytes in zip(task_output, task_sizes):
                 index = job.conf.partitioner(key, num_reducers)
                 if not 0 <= index < num_reducers:
                     raise EngineError(
@@ -196,7 +254,6 @@ class MapReduceEngine(Engine):
                         f"[0, {num_reducers})"
                     )
                 partitions[index][key].append(value)
-                pair_bytes = _estimate_bytes((key, value))
                 shuffle_bytes += pair_bytes
                 counters.increment("shuffle", "records")
         counters.increment("shuffle", "bytes", shuffle_bytes)
@@ -210,34 +267,54 @@ class MapReduceEngine(Engine):
         counters: CounterGroup,
         cost: CostCounters,
     ) -> tuple[list[Pair], list[int]]:
-        """Sort (optionally) and reduce each partition."""
+        """Sort (optionally) and reduce each partition.
+
+        Reduce tasks (one per partition) run on the engine's executor;
+        outputs are concatenated and counters merged in partition order,
+        exactly as the serial loop would.
+        """
+        task_results = self.executor.map(
+            lambda partition: self._run_reduce_task(job, partition), partitions
+        )
         output: list[Pair] = []
         task_records: list[int] = []
-        for partition in partitions:
-            keys = list(partition)
-            if job.conf.sort_keys:
-                keys.sort(key=_sort_token)
-            records = 0
-            for key in keys:
-                values = partition[key]
-                if job.conf.sort_values:
-                    values = sorted(values, key=_sort_token)
-                counters.increment("reduce", "input_groups")
-                counters.increment("reduce", "input_records", len(values))
-                records += len(values)
-                for out_pair in job.reducer(key, values):
-                    if not isinstance(out_pair, tuple) or len(out_pair) != 2:
-                        raise EngineError(
-                            f"reducer of job {job.name!r} must yield "
-                            f"(key, value) pairs, got {out_pair!r}"
-                        )
-                    output.append(out_pair)
-                    counters.increment("reduce", "output_records")
-                    cost.records_written += 1
-                    cost.bytes_written += _estimate_bytes(out_pair)
-                    cost.compute_ops += 1
+        for task_output, task_counters, task_cost, records in task_results:
+            counters.merge(task_counters)
+            cost.merge(task_cost)
+            output.extend(task_output)
             task_records.append(records)
         return output, task_records
+
+    def _run_reduce_task(
+        self, job: MapReduceJob, partition: dict[Any, list[Any]]
+    ) -> tuple[list[Pair], CounterGroup, CostCounters, int]:
+        """One reduce task over one partition, with task-local accounting."""
+        counters = CounterGroup()
+        cost = CostCounters()
+        output: list[Pair] = []
+        keys = list(partition)
+        if job.conf.sort_keys:
+            keys.sort(key=_sort_token)
+        records = 0
+        for key in keys:
+            values = partition[key]
+            if job.conf.sort_values:
+                values = sorted(values, key=_sort_token)
+            counters.increment("reduce", "input_groups")
+            counters.increment("reduce", "input_records", len(values))
+            records += len(values)
+            for out_pair in job.reducer(key, values):
+                if not isinstance(out_pair, tuple) or len(out_pair) != 2:
+                    raise EngineError(
+                        f"reducer of job {job.name!r} must yield "
+                        f"(key, value) pairs, got {out_pair!r}"
+                    )
+                output.append(out_pair)
+                counters.increment("reduce", "output_records")
+                cost.records_written += 1
+                cost.bytes_written += _estimate_bytes(out_pair)
+                cost.compute_ops += 1
+        return output, counters, cost, records
 
 
 def _sort_token(value: Any) -> tuple[int, Any]:

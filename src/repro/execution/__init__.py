@@ -6,25 +6,40 @@ from repro.execution.config import (
     prepare_input,
 )
 from repro.execution.harness import BenchmarkHarness, SweepPoint, SweepReport
+from repro.execution.parallel import (
+    EXECUTOR_BACKENDS,
+    ParallelExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    resolve_executor,
+)
 from repro.execution.report import (
     ascii_table,
     markdown_table,
     results_json,
     results_table,
 )
-from repro.execution.runner import RunnerOptions, TestRunner
+from repro.execution.runner import RunnerOptions, RunTask, TestRunner
 
 __all__ = [
     "BenchmarkHarness",
+    "EXECUTOR_BACKENDS",
+    "ParallelExecutor",
+    "ProcessExecutor",
+    "RunTask",
     "RunnerOptions",
+    "SerialExecutor",
     "SweepPoint",
     "SweepReport",
     "SystemConfiguration",
     "TestRunner",
+    "ThreadExecutor",
     "ascii_table",
     "default_configurations",
     "markdown_table",
     "prepare_input",
+    "resolve_executor",
     "results_json",
     "results_table",
 ]

@@ -4,6 +4,12 @@ These drive the repeated-measurement patterns the benchmark files need:
 volume sweeps (scalability shapes), cross-engine comparisons (the
 functional-view experiment), and configuration sweeps (planner and
 cluster ablations).
+
+Sweep points are independent runs, so every harness operation fans out
+over the runner's configured executor backend (see
+:mod:`repro.execution.parallel`) and merges results in submission order
+— a sweep on the thread or process backend reports points in exactly
+the order the serial loop would.
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ from typing import Any
 from repro.core.prescription import Prescription
 from repro.core.results import ResultAnalyzer, RunResult
 from repro.execution.config import SystemConfiguration
-from repro.execution.runner import TestRunner
+from repro.execution.runner import RunTask, TestRunner
 
 
 @dataclass
@@ -66,11 +72,13 @@ class BenchmarkHarness:
         **overrides: Any,
     ) -> SweepReport:
         """Run one prescription at several data volumes."""
+        tasks = [
+            RunTask(prescription, engine_name, volume, dict(overrides))
+            for volume in volumes
+        ]
+        results = self.runner.run_many(tasks)
         report = SweepReport(parameter="volume")
-        for volume in volumes:
-            result = self.runner.run(
-                prescription, engine_name, volume_override=volume, **overrides
-            )
+        for volume, result in zip(volumes, results):
             report.points.append(SweepPoint("volume", volume, result))
         return report
 
@@ -83,10 +91,19 @@ class BenchmarkHarness:
         **fixed_overrides: Any,
     ) -> SweepReport:
         """Run one prescription sweeping a workload parameter."""
+        volume_override = fixed_overrides.pop("volume_override", None)
+        tasks = [
+            RunTask(
+                prescription,
+                engine_name,
+                volume_override,
+                {**fixed_overrides, parameter: value},
+            )
+            for value in values
+        ]
+        results = self.runner.run_many(tasks)
         report = SweepReport(parameter=parameter)
-        for value in values:
-            overrides = {**fixed_overrides, parameter: value}
-            result = self.runner.run(prescription, engine_name, **overrides)
+        for value, result in zip(values, results):
             report.points.append(SweepPoint(parameter, value, result))
         return report
 
@@ -110,16 +127,27 @@ class BenchmarkHarness:
         configurations: dict[str, SystemConfiguration],
         **overrides: Any,
     ) -> SweepReport:
-        """Run one prescription under several engine configurations."""
+        """Run one prescription under several engine configurations.
+
+        Each configuration travels with its task instead of being
+        written into the runner's shared configuration table, so a sweep
+        that raises mid-way (or runs concurrently on a shared runner)
+        can never leave ``runner.configurations`` half-restored.
+        """
+        volume_override = overrides.pop("volume_override", None)
+        tasks = [
+            RunTask(
+                prescription,
+                engine_name,
+                volume_override,
+                dict(overrides),
+                configuration=configuration,
+            )
+            for configuration in configurations.values()
+        ]
+        results = self.runner.run_many(tasks)
         report = SweepReport(parameter="configuration")
-        original = dict(self.runner.configurations)
-        try:
-            for label, configuration in configurations.items():
-                self.runner.configurations[engine_name] = configuration
-                result = self.runner.run(prescription, engine_name, **overrides)
-                result.extra["configuration"] = label
-                report.points.append(SweepPoint("configuration", label, result))
-        finally:
-            self.runner.configurations.clear()
-            self.runner.configurations.update(original)
+        for label, result in zip(configurations, results):
+            result.extra["configuration"] = label
+            report.points.append(SweepPoint("configuration", label, result))
         return report

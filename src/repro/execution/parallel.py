@@ -1,0 +1,171 @@
+"""Pluggable parallel execution backends (Execution Layer, Figure 2).
+
+The paper's execution layer fans prescribed tests out across systems and
+scale points, and its data-generation process (Figure 3) explicitly calls
+for parallelisable generation.  This module supplies the one fan-out
+substrate the whole stack shares: a :class:`ParallelExecutor` with three
+interchangeable backends —
+
+* ``serial`` — plain in-order iteration (the reference semantics),
+* ``thread`` — a shared :class:`~concurrent.futures.ThreadPoolExecutor`,
+* ``process`` — a :class:`~concurrent.futures.ProcessPoolExecutor` for
+  CPU-bound fan-out (tasks and results must be picklable).
+
+Every backend returns results **in submission order**, so callers merge
+deterministically regardless of which task finishes first; a run fanned
+out over any backend is metric-for-metric identical to the serial path
+(modulo wall-clock timings, which are measurements, not answers).
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Iterable
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, TypeVar
+
+from repro.core.errors import ExecutionError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: The backend names accepted throughout the stack (RunnerOptions,
+#: BenchmarkSpec, the CLI ``--executor`` flag, engine configurations).
+EXECUTOR_BACKENDS = ("serial", "thread", "process")
+
+
+def default_max_workers() -> int:
+    """Worker count when none is configured: one per CPU, at least one."""
+    return max(1, os.cpu_count() or 1)
+
+
+class ParallelExecutor(ABC):
+    """Maps a function over items, returning results in submission order.
+
+    Implementations may run tasks concurrently, but the result list is
+    always ordered like the input, so downstream merging (sweep points,
+    per-engine results, map/reduce task outputs) stays deterministic no
+    matter which task finishes first.  Exceptions raised by a task
+    propagate to the caller, as they would in a serial loop.
+    """
+
+    name: str = "executor"
+
+    @abstractmethod
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Apply ``fn`` to every item; results in submission order."""
+
+    def shutdown(self) -> None:
+        """Release pooled workers (no-op for pool-less backends)."""
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(ParallelExecutor):
+    """The reference backend: a plain in-order loop, no concurrency."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        return [fn(item) for item in items]
+
+
+class _PoolBackedExecutor(ParallelExecutor):
+    """Shared plumbing for the pool-backed backends (lazy pool creation)."""
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers <= 0:
+            raise ExecutionError(
+                f"max_workers must be positive, got {max_workers}"
+            )
+        self.max_workers = max_workers or default_max_workers()
+        self._pool: Any = None
+
+    def _make_pool(self) -> Any:
+        raise NotImplementedError
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        items = list(items)
+        if len(items) <= 1:
+            # One task gains nothing from a pool (and, for the process
+            # backend, would pay pickling for no concurrency).
+            return [fn(item) for item in items]
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return list(self._pool.map(fn, items))
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(max_workers={self.max_workers})"
+
+
+class ThreadExecutor(_PoolBackedExecutor):
+    """Thread-pool backend: shared memory, no pickling requirements.
+
+    Best when tasks release the GIL (NumPy-heavy generation) or when the
+    win comes from overlapping independent phases; always safe because
+    the framework merges task-local state in submission order.
+    """
+
+    name = "thread"
+
+    def _make_pool(self) -> ThreadPoolExecutor:
+        return ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="repro-exec"
+        )
+
+
+class ProcessExecutor(_PoolBackedExecutor):
+    """Process-pool backend for CPU-bound fan-out.
+
+    Tasks and results cross a process boundary, so both must be
+    picklable; the runner ships self-contained task payloads (see
+    :mod:`repro.execution.runner`) rather than closures.
+    """
+
+    name = "process"
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.max_workers)
+
+
+_BACKEND_CLASSES: dict[str, type[ParallelExecutor]] = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def resolve_executor(
+    spec: "ParallelExecutor | str | None", max_workers: int | None = None
+) -> ParallelExecutor:
+    """Turn a backend name (or an existing executor) into an executor.
+
+    ``None`` resolves to the serial backend, keeping callers that never
+    asked for parallelism on the exact reference semantics.
+    """
+    if spec is None:
+        return SerialExecutor()
+    if isinstance(spec, ParallelExecutor):
+        return spec
+    backend = _BACKEND_CLASSES.get(spec)
+    if backend is None:
+        raise ExecutionError(
+            f"unknown executor backend {spec!r}; "
+            f"available: {', '.join(EXECUTOR_BACKENDS)}"
+        )
+    if backend is SerialExecutor:
+        return SerialExecutor()
+    return backend(max_workers)

@@ -96,21 +96,22 @@ def results_json(results: list[RunResult]) -> str:
     """Serialize results (all metric statistics) to JSON."""
     payload = []
     for result in results:
-        payload.append(
-            {
-                "test": result.test_name,
-                "workload": result.workload,
-                "engine": result.engine,
-                "repeats": result.repeats,
-                "metrics": {
-                    name: {
-                        "mean": stats.mean,
-                        "min": stats.minimum,
-                        "max": stats.maximum,
-                        "stdev": stats.stdev,
-                    }
-                    for name, stats in result.metrics.items()
-                },
-            }
-        )
-    return json.dumps(payload, indent=2, sort_keys=True)
+        entry = {
+            "test": result.test_name,
+            "workload": result.workload,
+            "engine": result.engine,
+            "repeats": result.repeats,
+            "metrics": {
+                name: {
+                    "mean": stats.mean,
+                    "min": stats.minimum,
+                    "max": stats.maximum,
+                    "stdev": stats.stdev,
+                }
+                for name, stats in result.metrics.items()
+            },
+        }
+        if result.extra:
+            entry["extra"] = result.extra
+        payload.append(entry)
+    return json.dumps(payload, indent=2, sort_keys=True, default=str)

@@ -7,11 +7,19 @@ through the standard metric suite, and returns
 Engines are rebuilt per repeat so repeats stay independent — a DBMS that
 cached tables from the previous repeat, or a KV store already containing
 inserted keys, would otherwise contaminate the statistics.
+
+Independent runs — the engines of a cross-system comparison, the points
+of a sweep — fan out over the pluggable executor the
+:class:`~repro.execution.runner.RunnerOptions` select (``serial`` /
+``thread`` / ``process``; see :mod:`repro.execution.parallel`).  Results
+are merged in submission order, so every backend returns the same
+results in the same order as the serial path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import pickle
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.errors import ExecutionError
@@ -24,6 +32,11 @@ from repro.execution.config import (
     default_configurations,
     prepare_input,
 )
+from repro.execution.parallel import (
+    EXECUTOR_BACKENDS,
+    ParallelExecutor,
+    resolve_executor,
+)
 from repro.workloads.base import WorkloadResult
 
 
@@ -35,6 +48,10 @@ class RunnerOptions:
     warmup_runs: int = 0
     #: Validate format convertibility before running (Section 2.3).
     check_format: bool = True
+    #: Fan-out backend for independent runs: "serial", "thread", "process".
+    executor: str = "serial"
+    #: Worker count for the pooled backends; None means one per CPU.
+    max_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.repeats <= 0:
@@ -43,6 +60,37 @@ class RunnerOptions:
             raise ExecutionError(
                 f"warmup_runs must be non-negative, got {self.warmup_runs}"
             )
+        if self.executor not in EXECUTOR_BACKENDS:
+            raise ExecutionError(
+                f"unknown executor backend {self.executor!r}; "
+                f"available: {', '.join(EXECUTOR_BACKENDS)}"
+            )
+        if self.max_workers is not None and self.max_workers <= 0:
+            raise ExecutionError(
+                f"max_workers must be positive, got {self.max_workers}"
+            )
+
+
+@dataclass
+class RunTask:
+    """One independent run request, ready to be fanned out.
+
+    A plain-data description (picklable as long as the prescription is)
+    of everything :meth:`TestRunner.run` needs, so a batch of tasks can
+    be dispatched to any executor backend and merged in submission
+    order.
+    """
+
+    prescription: Prescription | str
+    engine_name: str
+    volume_override: int | None = None
+    overrides: dict[str, Any] = field(default_factory=dict)
+    #: Explicit engine configuration for this task only; None falls back
+    #: to the runner's configuration table.  Passing it per-task keeps
+    #: configuration sweeps free of shared-state mutation.
+    configuration: SystemConfiguration | None = None
+    #: Parallel data-generator partitions (velocity override).
+    data_partitions: int | None = None
 
 
 class TestRunner:
@@ -61,11 +109,41 @@ class TestRunner:
         self.configurations = configurations or default_configurations()
         self.options = options or RunnerOptions()
         self.suite = suite or MetricSuite.standard()
+        self._executor: ParallelExecutor | None = None
 
     # ------------------------------------------------------------------
 
-    def _build_engine(self, engine_name: str):
-        configuration = self.configurations.get(engine_name)
+    @property
+    def executor(self) -> ParallelExecutor:
+        """The fan-out backend the options select (created lazily)."""
+        if self._executor is None:
+            self._executor = resolve_executor(
+                self.options.executor, self.options.max_workers
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Release pooled executor workers, if any were created."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "TestRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def _build_engine(
+        self, engine_name: str, configuration: SystemConfiguration | None = None
+    ):
+        configuration = (
+            configuration
+            if configuration is not None
+            else self.configurations.get(engine_name)
+        )
         if configuration is not None:
             return configuration.build()
         return self.test_generator.engines.create(engine_name)
@@ -81,35 +159,76 @@ class TestRunner:
         prescription: Prescription | str,
         engine_name: str,
         volume_override: int | None = None,
+        *,
+        configuration: SystemConfiguration | None = None,
+        data_partitions: int | None = None,
         **overrides: Any,
     ) -> RunResult:
         """Generate and run one prescribed test with repeats.
 
-        The data set is generated once (same data every repeat); the
-        engine is rebuilt per repeat for independence.
+        The data set is generated once (same data every repeat — and
+        served from the dataset cache when an identical deterministic
+        request already ran); the engine is rebuilt per repeat for
+        independence.
         """
         test = self.test_generator.generate(
-            prescription, engine_name, volume_override
+            prescription, engine_name, volume_override, data_partitions
         )
         for _ in range(self.options.warmup_runs):
-            fresh = self._rebind(test, engine_name)
+            fresh = self._rebind(test, engine_name, configuration)
             self.run_once(fresh, **overrides)
         workload_results = []
         for _ in range(self.options.repeats):
-            fresh = self._rebind(test, engine_name)
+            fresh = self._rebind(test, engine_name, configuration)
             workload_results.append(self.run_once(fresh, **overrides))
         return RunResult.from_workload_results(
             test.name, workload_results, self.suite
         )
 
-    def _rebind(self, test: PrescribedTest, engine_name: str) -> PrescribedTest:
+    def _rebind(
+        self,
+        test: PrescribedTest,
+        engine_name: str,
+        configuration: SystemConfiguration | None = None,
+    ) -> PrescribedTest:
         """The same prescription and data on a fresh engine instance."""
         return PrescribedTest(
             prescription=test.prescription,
-            engine=self._build_engine(engine_name),
+            engine=self._build_engine(engine_name, configuration),
             workload=test.workload,
             dataset=test.dataset,
         )
+
+    # ------------------------------------------------------------------
+    # Fan-out
+    # ------------------------------------------------------------------
+
+    def _run_task(self, task: RunTask) -> RunResult:
+        return self.run(
+            task.prescription,
+            task.engine_name,
+            task.volume_override,
+            configuration=task.configuration,
+            data_partitions=task.data_partitions,
+            **task.overrides,
+        )
+
+    def run_many(self, tasks: list[RunTask]) -> list[RunResult]:
+        """Run independent tasks on the configured executor backend.
+
+        Results come back in submission order, so every backend is a
+        drop-in replacement for the serial loop.  The thread backend
+        shares this runner (and its dataset cache); the process backend
+        ships each task as a self-contained payload and rebuilds a
+        serial runner in the worker.
+        """
+        tasks = list(tasks)
+        if len(tasks) <= 1 or self.options.executor == "serial":
+            return [self._run_task(task) for task in tasks]
+        if self.options.executor == "process":
+            payloads = [self._task_payload(task) for task in tasks]
+            return self.executor.map(_subprocess_run_task, payloads)
+        return self.executor.map(self._run_task, tasks)
 
     def run_on_engines(
         self,
@@ -118,8 +237,86 @@ class TestRunner:
         volume_override: int | None = None,
         **overrides: Any,
     ) -> list[RunResult]:
-        """The same prescription across several engines (system view)."""
-        return [
-            self.run(prescription, engine_name, volume_override, **overrides)
+        """The same prescription across several engines (system view).
+
+        The deterministic data set is generated once and shared by every
+        engine through the dataset cache; its hit/miss counters are
+        attached to each result's ``extra["dataset_cache"]``.
+        """
+        tasks = [
+            RunTask(prescription, engine_name, volume_override, dict(overrides))
             for engine_name in engine_names
         ]
+        results = self.run_many(tasks)
+        cache = self.test_generator.dataset_cache
+        if cache is not None:
+            stats = cache.stats()
+            for result in results:
+                result.extra["dataset_cache"] = dict(stats)
+        return results
+
+    # ------------------------------------------------------------------
+    # Process-backend plumbing
+    # ------------------------------------------------------------------
+
+    def _task_payload(self, task: RunTask) -> dict[str, Any]:
+        """A self-contained, picklable description of one task.
+
+        The prescription ships by value when picklable; otherwise by
+        name, to be resolved from the worker's built-in repository
+        (iterative prescriptions hold stopping-condition callables that
+        cannot cross a process boundary).
+        """
+        prescription = task.prescription
+        if isinstance(prescription, str):
+            prescription = self.test_generator.repository.get(prescription)
+        shipped: Prescription | str
+        try:
+            pickle.dumps(prescription)
+            shipped = prescription
+        except Exception:
+            shipped = prescription.name
+        configuration = (
+            task.configuration
+            if task.configuration is not None
+            else self.configurations.get(task.engine_name)
+        )
+        return {
+            "prescription": shipped,
+            "engine_name": task.engine_name,
+            "volume_override": task.volume_override,
+            "overrides": dict(task.overrides),
+            "configuration": configuration,
+            "data_partitions": task.data_partitions,
+            "options": {
+                "repeats": self.options.repeats,
+                "warmup_runs": self.options.warmup_runs,
+                "check_format": self.options.check_format,
+            },
+        }
+
+
+def _subprocess_run_task(payload: dict[str, Any]) -> RunResult:
+    """Worker-process entry point: rebuild a serial runner and run.
+
+    Generation is deterministic, so the worker's fresh dataset is
+    record-for-record identical to what the parent would have generated;
+    metric means (other than wall-clock measurements) match the serial
+    path exactly.
+    """
+    import repro  # noqa: F401 — fills the registries in the worker
+
+    runner = TestRunner(
+        options=RunnerOptions(executor="serial", **payload["options"])
+    )
+    # Engine construction mirrors the parent: the payload carries the
+    # resolved configuration (None means a bare registry engine).
+    runner.configurations = {}
+    return runner.run(
+        payload["prescription"],
+        payload["engine_name"],
+        payload["volume_override"],
+        configuration=payload["configuration"],
+        data_partitions=payload["data_partitions"],
+        **payload["overrides"],
+    )

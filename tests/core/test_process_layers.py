@@ -36,7 +36,7 @@ class TestBenchmarkingProcess:
     def test_execution_produces_results_per_engine(self, framework):
         report = framework.run("database-aggregate-join", volume=60)
         assert sorted(result.engine for result in report.results) == [
-            "dbms", "mapreduce",
+            "dbms", "mapreduce", "nosql",
         ]
 
     def test_repeats_respected(self, framework):
@@ -48,7 +48,7 @@ class TestBenchmarkingProcess:
         report = framework.run("database-aggregate-join", volume=60)
         analysis = report.step("analysis-evaluation")
         assert analysis.detail["lead_metric"] == "duration"
-        assert len(analysis.detail["ranking"]) == 2
+        assert len(analysis.detail["ranking"]) == 3
 
     def test_invalid_spec_fails_at_planning(self, framework):
         with pytest.raises(SpecError):

@@ -48,7 +48,9 @@ class TestBenchmarkSpec:
 
     def test_resolved_engines_default_to_supported(self, repository):
         spec = BenchmarkSpec("database-aggregate-join")
-        assert sorted(spec.resolved_engines(repository)) == ["dbms", "mapreduce"]
+        assert sorted(spec.resolved_engines(repository)) == [
+            "dbms", "mapreduce", "nosql",
+        ]
 
     def test_resolved_engines_honours_explicit_list(self, repository):
         spec = BenchmarkSpec("database-aggregate-join", engines=["dbms"])

@@ -80,10 +80,10 @@ class TestGenerate:
 
 
 class TestGenerateForAllEngines:
-    def test_relational_query_binds_to_both_system_types(self, generator):
+    def test_relational_query_binds_to_all_system_types(self, generator):
         tests = generator.generate_for_all_engines("database-aggregate-join", 50)
         engines = sorted(test.engine.name for test in tests)
-        assert engines == ["dbms", "mapreduce"]
+        assert engines == ["dbms", "mapreduce", "nosql"]
 
     def test_oltp_binds_to_both_stores(self, generator):
         tests = generator.generate_for_all_engines("oltp-read-write", 30)

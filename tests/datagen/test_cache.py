@@ -1,0 +1,195 @@
+"""Tests for the deterministic dataset cache."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.test_generator import TestGenerator
+from repro.datagen.base import DataSet, DataType
+from repro.datagen.cache import DatasetCache
+from repro.execution.runner import TestRunner
+
+
+def _dataset(name: str = "d", records: int = 3) -> DataSet:
+    return DataSet(
+        name=name, data_type=DataType.TEXT, records=[f"r{i}" for i in range(records)]
+    )
+
+
+class TestMakeKey:
+    def test_identical_requests_share_a_key(self):
+        assert DatasetCache.make_key("random-text", 7, 100) == DatasetCache.make_key(
+            "random-text", 7, 100
+        )
+
+    def test_seed_isolates_entries(self):
+        assert DatasetCache.make_key("random-text", 7, 100) != DatasetCache.make_key(
+            "random-text", 8, 100
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"volume": 200},
+            {"num_partitions": 4},
+            {"fit_on": "text-corpus"},
+            {"params": {"alpha": 0.5}},
+        ],
+    )
+    def test_every_field_participates(self, kwargs):
+        base = dict(generator="g", seed=1, volume=100)
+        assert DatasetCache.make_key(**base) != DatasetCache.make_key(
+            **{**base, **kwargs}
+        )
+
+    def test_param_order_does_not_matter(self):
+        assert DatasetCache.make_key(
+            "g", 1, 10, params={"a": 1, "b": 2}
+        ) == DatasetCache.make_key("g", 1, 10, params={"b": 2, "a": 1})
+
+
+class TestGetOrGenerate:
+    def test_factory_runs_once(self):
+        cache = DatasetCache()
+        key = DatasetCache.make_key("g", 0, 10)
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return _dataset()
+
+        first = cache.get_or_generate(key, factory)
+        second = cache.get_or_generate(key, factory)
+        assert first is second
+        assert len(calls) == 1
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_distinct_keys_generate_separately(self):
+        cache = DatasetCache()
+        a = cache.get_or_generate(DatasetCache.make_key("g", 0, 10), _dataset)
+        b = cache.get_or_generate(DatasetCache.make_key("g", 1, 10), _dataset)
+        assert a is not b
+        assert cache.misses == 2
+
+    def test_concurrent_same_key_generates_once(self):
+        cache = DatasetCache()
+        key = DatasetCache.make_key("g", 0, 10)
+        calls = []
+        gate = threading.Event()
+
+        def factory():
+            gate.wait(timeout=5)
+            calls.append(1)
+            return _dataset()
+
+        threads = [
+            threading.Thread(
+                target=lambda: cache.get_or_generate(key, factory)
+            )
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert len(calls) == 1
+        assert cache.misses == 1 and cache.hits == 3
+
+    def test_lru_eviction(self):
+        cache = DatasetCache(max_entries=2)
+        keys = [DatasetCache.make_key("g", seed, 10) for seed in range(3)]
+        for key in keys:
+            cache.get_or_generate(key, _dataset)
+        assert len(cache) == 2
+        assert keys[0] not in cache  # least recently used was dropped
+        assert keys[1] in cache and keys[2] in cache
+
+    def test_invalid_max_entries(self):
+        with pytest.raises(ValueError):
+            DatasetCache(max_entries=0)
+
+    def test_clear_resets_counters(self):
+        cache = DatasetCache()
+        key = DatasetCache.make_key("g", 0, 10)
+        cache.get_or_generate(key, _dataset)
+        cache.get_or_generate(key, _dataset)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats() == {
+            "hits": 0, "misses": 0, "entries": 0, "hit_rate": 0.0,
+        }
+
+    def test_stats_hit_rate(self):
+        cache = DatasetCache()
+        key = DatasetCache.make_key("g", 0, 10)
+        cache.get_or_generate(key, _dataset)
+        cache.get_or_generate(key, _dataset)
+        cache.get_or_generate(key, _dataset)
+        stats = cache.stats()
+        assert stats == {
+            "hits": 2, "misses": 1, "entries": 1, "hit_rate": 2 / 3,
+        }
+
+
+class TestGeneratorIntegration:
+    def test_generation_happens_once_per_unique_request(self, monkeypatch):
+        generator = TestGenerator()
+        calls = []
+        original = TestGenerator._generate_data
+
+        def counting(self, *args, **kwargs):
+            calls.append(1)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(TestGenerator, "_generate_data", counting)
+        for engine in ("dbms", "mapreduce", "nosql"):
+            generator.generate("database-aggregate-join", engine, 50)
+        assert len(calls) == 1
+        assert generator.dataset_cache.stats()["hits"] == 2
+
+    def test_cached_datasets_are_shared_objects(self):
+        generator = TestGenerator()
+        first = generator.generate("database-aggregate-join", "dbms", 50)
+        second = generator.generate("database-aggregate-join", "mapreduce", 50)
+        assert first.dataset is second.dataset
+
+    def test_volume_override_isolates_entries(self):
+        generator = TestGenerator()
+        small = generator.generate("micro-wordcount", "mapreduce", 20)
+        large = generator.generate("micro-wordcount", "mapreduce", 40)
+        assert small.dataset is not large.dataset
+        assert generator.dataset_cache.misses == 2
+
+    def test_caching_can_be_disabled(self):
+        generator = TestGenerator(cache_datasets=False)
+        assert generator.dataset_cache is None
+        first = generator.generate("micro-wordcount", "mapreduce", 20)
+        second = generator.generate("micro-wordcount", "mapreduce", 20)
+        assert first.dataset is not second.dataset
+        # Generation stays deterministic with or without the cache.
+        assert first.dataset.records == second.dataset.records
+
+
+class TestRunnerIntegration:
+    def test_run_on_engines_generates_once(self):
+        runner = TestRunner()
+        engines = ["dbms", "mapreduce", "nosql"]
+        results = runner.run_on_engines("database-aggregate-join", engines, 60)
+        stats = runner.test_generator.dataset_cache.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == len(engines) - 1
+        for result in results:
+            assert result.extra["dataset_cache"]["misses"] == 1
+
+    def test_repeats_share_the_cached_dataset(self):
+        from repro.execution.runner import RunnerOptions
+
+        runner = TestRunner(options=RunnerOptions(repeats=3))
+        runner.run("micro-wordcount", "mapreduce", 30)
+        runner.run("micro-wordcount", "mapreduce", 30)
+        stats = runner.test_generator.dataset_cache.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1

@@ -1,0 +1,264 @@
+"""Tests for the parallel execution layer.
+
+Covers the executor abstraction itself (ordering, validation), backend
+parity — thread and process fan-out must reproduce the serial path's
+deterministic metrics exactly — and the configuration-sweep isolation
+guarantee.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ExecutionError
+from repro.core.prescription import Prescription
+from repro.engines.mapreduce import JobConf, MapReduceEngine, MapReduceJob
+from repro.execution.config import SystemConfiguration
+from repro.execution.harness import BenchmarkHarness
+from repro.execution.parallel import (
+    EXECUTOR_BACKENDS,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    resolve_executor,
+)
+from repro.execution.runner import RunnerOptions, RunTask, TestRunner
+
+ENGINES = ["dbms", "mapreduce", "nosql"]
+PRESCRIPTION = "database-aggregate-join"
+
+#: Metrics that do not depend on wall-clock time, per engine: mapreduce
+#: metrics derive from the simulated cluster makespan, nosql metrics
+#: from the store's seeded latency model.  Every dbms metric is
+#: wall-clock based, so it has no deterministic subset to compare.
+DETERMINISTIC_METRICS = {
+    "mapreduce": [
+        "throughput", "ops_per_second", "data_rate",
+        "network_rate", "energy", "cost",
+    ],
+    "nosql": ["throughput", "mean_latency", "latency_p95", "latency_p99"],
+    "dbms": [],
+}
+
+
+def _square(value: int) -> int:  # module level: picklable for "process"
+    return value * value
+
+
+def _metric_means(results) -> dict[tuple[str, str], float]:
+    means = {}
+    for result in results:
+        for name in DETERMINISTIC_METRICS[result.engine]:
+            if name in result.metrics:
+                means[(result.engine, name)] = result.mean(name)
+    return means
+
+
+class TestResolveExecutor:
+    def test_backend_registry(self):
+        assert EXECUTOR_BACKENDS == ("serial", "thread", "process")
+
+    def test_named_backends(self):
+        assert isinstance(resolve_executor("serial"), SerialExecutor)
+        assert isinstance(resolve_executor("thread"), ThreadExecutor)
+        assert isinstance(resolve_executor("process"), ProcessExecutor)
+
+    def test_none_means_serial(self):
+        assert isinstance(resolve_executor(None), SerialExecutor)
+
+    def test_instance_passes_through(self):
+        executor = SerialExecutor()
+        assert resolve_executor(executor) is executor
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ExecutionError):
+            resolve_executor("spark-cluster")
+
+
+class TestExecutorOrdering:
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_results_in_submission_order(self, backend):
+        with resolve_executor(backend, max_workers=4) as executor:
+            results = executor.map(lambda x: x * x, list(range(25)))
+        assert results == [x * x for x in range(25)]
+
+    def test_process_results_in_submission_order(self):
+        with resolve_executor("process", max_workers=2) as executor:
+            results = executor.map(_square, list(range(8)))
+        assert results == [x * x for x in range(8)]
+
+    def test_empty_input(self):
+        with resolve_executor("thread") as executor:
+            assert executor.map(lambda x: x, []) == []
+
+    def test_single_item_short_circuits_pool_creation(self):
+        with resolve_executor("thread") as executor:
+            assert executor.map(lambda x: x + 1, [41]) == [42]
+            assert executor._pool is None
+
+    def test_worker_exception_propagates(self):
+        def explode(value):
+            raise RuntimeError(f"boom {value}")
+
+        with resolve_executor("thread") as executor:
+            with pytest.raises(RuntimeError):
+                executor.map(explode, [1, 2, 3])
+
+
+class TestRunnerOptionsValidation:
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ExecutionError):
+            RunnerOptions(executor="gpu")
+
+    def test_bad_max_workers_rejected(self):
+        with pytest.raises(ExecutionError):
+            RunnerOptions(max_workers=0)
+
+    def test_defaults_are_serial(self):
+        options = RunnerOptions()
+        assert options.executor == "serial"
+        assert options.max_workers is None
+
+
+class TestBackendParity:
+    """Thread and process fan-out must be drop-in replacements: same
+    engines in the same order, identical deterministic metric means."""
+
+    @pytest.fixture(scope="class")
+    def serial_results(self):
+        with TestRunner(options=RunnerOptions(executor="serial")) as runner:
+            return runner.run_on_engines(PRESCRIPTION, ENGINES, 60)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_run_on_engines_matches_serial(self, backend, serial_results):
+        options = RunnerOptions(executor=backend, max_workers=2)
+        with TestRunner(options=options) as runner:
+            results = runner.run_on_engines(PRESCRIPTION, ENGINES, 60)
+        assert [r.engine for r in results] == [r.engine for r in serial_results]
+        assert _metric_means(results) == _metric_means(serial_results)
+
+    def test_serial_results_carry_cache_stats(self, serial_results):
+        for result in serial_results:
+            stats = result.extra["dataset_cache"]
+            assert stats["misses"] == 1
+            assert stats["hits"] == len(ENGINES) - 1
+
+    def test_volume_sweep_thread_matches_serial(self):
+        volumes = [20, 40, 60]
+        serial = BenchmarkHarness(
+            TestRunner(options=RunnerOptions(executor="serial"))
+        ).volume_sweep("micro-wordcount", "mapreduce", volumes)
+        with TestRunner(
+            options=RunnerOptions(executor="thread", max_workers=2)
+        ) as runner:
+            threaded = BenchmarkHarness(runner).volume_sweep(
+                "micro-wordcount", "mapreduce", volumes
+            )
+        assert [point.value for point in threaded.points] == volumes
+        assert threaded.series("throughput") == serial.series("throughput")
+
+
+class TestProcessPayloads:
+    def test_picklable_prescription_ships_by_value(self):
+        runner = TestRunner()
+        payload = runner._task_payload(RunTask("micro-wordcount", "mapreduce"))
+        assert isinstance(payload["prescription"], Prescription)
+
+    def test_unpicklable_prescription_ships_by_name(self):
+        # Iterative prescriptions hold stopping-condition callables that
+        # cannot cross a process boundary.
+        runner = TestRunner()
+        payload = runner._task_payload(RunTask("search-pagerank", "mapreduce"))
+        assert payload["prescription"] == "search-pagerank"
+
+    def test_payload_resolves_default_configuration(self):
+        runner = TestRunner()
+        payload = runner._task_payload(RunTask("micro-wordcount", "mapreduce"))
+        assert payload["configuration"] is runner.configurations["mapreduce"]
+
+
+class TestConfigurationSweep:
+    CONFIGS = {
+        "small": SystemConfiguration(
+            "mapreduce", {"num_nodes": 2, "slots_per_node": 1}
+        ),
+        "large": SystemConfiguration(
+            "mapreduce", {"num_nodes": 8, "slots_per_node": 4}
+        ),
+    }
+
+    def test_sweep_never_mutates_runner_configurations(self):
+        runner = TestRunner()
+        before = dict(runner.configurations)
+        report = BenchmarkHarness(runner).configuration_sweep(
+            "micro-wordcount", "mapreduce", self.CONFIGS, volume_override=30
+        )
+        assert runner.configurations == before
+        assert [point.value for point in report.points] == ["small", "large"]
+        assert report.points[0].result.extra["configuration"] == "small"
+
+    def test_failing_configuration_leaves_runner_intact(self):
+        runner = TestRunner()
+        before = dict(runner.configurations)
+        configs = {
+            "ok": SystemConfiguration("mapreduce"),
+            "broken": SystemConfiguration("spark"),  # no recipe → raises
+        }
+        with pytest.raises(ExecutionError):
+            BenchmarkHarness(runner).configuration_sweep(
+                "micro-wordcount", "mapreduce", configs, volume_override=20
+            )
+        assert runner.configurations == before
+
+    def test_larger_cluster_is_faster(self):
+        report = BenchmarkHarness().configuration_sweep(
+            "micro-wordcount", "mapreduce", self.CONFIGS, volume_override=120
+        )
+        series = dict(report.series("throughput"))
+        assert series["large"] > series["small"]
+
+
+def _wordcount_job(num_map_tasks: int = 4, num_reduce_tasks: int = 3):
+    def mapper(key, value):
+        yield value, 1
+
+    def reducer(word, counts):
+        yield word, sum(counts)
+
+    return MapReduceJob(
+        "wordcount",
+        mapper,
+        reducer,
+        conf=JobConf(
+            num_map_tasks=num_map_tasks, num_reduce_tasks=num_reduce_tasks
+        ),
+    )
+
+
+class TestMapReduceExecutorParity:
+    PAIRS = [(index, f"word{index % 7}") for index in range(50)]
+
+    def test_thread_backend_bit_identical_to_serial(self):
+        serial = MapReduceEngine(executor="serial").run(
+            _wordcount_job(), self.PAIRS
+        )
+        threaded = MapReduceEngine(executor="thread", max_workers=2).run(
+            _wordcount_job(), self.PAIRS
+        )
+        assert threaded.output == serial.output
+        assert threaded.counters.snapshot() == serial.counters.snapshot()
+        assert threaded.cost == serial.cost
+        assert threaded.simulated_seconds == serial.simulated_seconds
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_more_map_tasks_than_pairs(self, backend):
+        engine = MapReduceEngine(executor=backend, max_workers=2)
+        result = engine.run(_wordcount_job(num_map_tasks=8), [(0, "a"), (1, "b")])
+        assert sorted(result.output) == [("a", 1), ("b", 1)]
+        assert result.counters.get("map", "input_records") == 2
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_empty_input(self, backend):
+        engine = MapReduceEngine(executor=backend)
+        result = engine.run(_wordcount_job(), [])
+        assert result.output == []

@@ -53,10 +53,10 @@ class TestCrossSystemComparison:
     """The functional-view experiment (E10): one abstract test, two
     different system types, comparable results."""
 
-    def test_relational_query_both_engines_same_answer(self, framework):
+    def test_relational_query_all_engines_same_answer(self, framework):
         report = framework.run("database-aggregate-join", volume=80)
         assert {result.engine for result in report.results} == {
-            "dbms", "mapreduce",
+            "dbms", "mapreduce", "nosql",
         }
 
     def test_oltp_both_stores_report_latency(self, framework):
@@ -74,9 +74,9 @@ class TestCrossSystemComparison:
     def test_ranking_is_reported(self, framework):
         report = framework.run("database-aggregate-join", volume=60)
         ranking = report.step("analysis-evaluation").detail["ranking"]
-        assert len(ranking) == 2
+        assert len(ranking) == 3
         # Ranked ascending by duration (lead metric, lower is better).
-        assert ranking[0][1] <= ranking[1][1]
+        assert ranking[0][1] <= ranking[1][1] <= ranking[2][1]
 
 
 class TestVelocityThroughTheSpec:

@@ -70,6 +70,12 @@ class TestChunked:
         chunks = chunked([1], 3)
         assert chunks == [[1], [], []]
 
+    def test_empty_input_yields_all_empty_chunks(self):
+        assert chunked([], 4) == [[], [], [], []]
+
+    def test_single_chunk_is_whole_sequence(self):
+        assert chunked([1, 2, 3], 1) == [[1, 2, 3]]
+
     def test_invalid_chunk_count(self):
         with pytest.raises(ValueError):
             chunked([1], 0)

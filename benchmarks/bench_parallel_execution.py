@@ -67,7 +67,7 @@ def _timed_compare(backend: str):
         started = time.perf_counter()
         analyzer = harness.compare_engines(PRESCRIPTION, ENGINES, VOLUME)
         elapsed = time.perf_counter() - started
-        cache_stats = runner.test_generator.dataset_cache.stats()
+        cache_stats = runner.test_generator.dataset_cache.stats().as_dict()
     return elapsed, analyzer.results, cache_stats
 
 
@@ -151,7 +151,7 @@ def test_dataset_cache_scaling(benchmark):
         options = RunnerOptions(repeats=3)
         with TestRunner(options=options) as runner:
             runner.run_on_engines(PRESCRIPTION, ENGINES, VOLUME)
-            return runner.test_generator.dataset_cache.stats()
+            return runner.test_generator.dataset_cache.stats().as_dict()
 
     stats = benchmark.pedantic(drive, rounds=2, iterations=1)
     print_banner("E13", "dataset cache — one generation per unique request")

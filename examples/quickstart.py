@@ -10,7 +10,7 @@ Run:  python examples/quickstart.py
 from __future__ import annotations
 
 from repro import BigDataBenchmark
-from repro.execution.report import results_table
+from repro.execution.report import render_results
 
 
 def main() -> None:
@@ -29,9 +29,9 @@ def main() -> None:
         print(f"  {step.step:22s} {step.elapsed_seconds * 1e3:8.2f} ms")
 
     print("\nResults:")
-    print(results_table(report.results,
-                        ["duration", "throughput", "ops_per_second",
-                         "energy", "cost"]))
+    print(render_results(report.results,
+                         metrics=["duration", "throughput", "ops_per_second",
+                                  "energy", "cost"]))
 
     ranking = report.step("analysis-evaluation").detail["ranking"]
     engine, duration = ranking[0]

@@ -50,6 +50,7 @@ from repro.core.results import ResultAnalyzer, RunResult  # noqa: E402
 from repro.core.spec import BenchmarkSpec  # noqa: E402
 from repro.core.test_generator import PrescribedTest, TestGenerator  # noqa: E402
 from repro.datagen.base import DataSet, DataType  # noqa: E402
+from repro.observability import Span, Tracer, current_tracer, trace_span  # noqa: E402
 
 __version__ = "1.0.0"
 
@@ -72,9 +73,13 @@ __all__ = [
     "ResultAnalyzer",
     "RunEvidence",
     "RunResult",
+    "Span",
     "TestGenerator",
+    "Tracer",
     "UserInterfaceLayer",
     "builtin_repository",
+    "current_tracer",
     "register_default_components",
+    "trace_span",
     "__version__",
 ]

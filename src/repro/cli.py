@@ -58,6 +58,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="workload parameter override")
     run_parser.add_argument("--json", action="store_true",
                             help="emit results as JSON")
+    run_parser.add_argument("--trace", action="store_true",
+                            help="record spans and print the ASCII span "
+                                 "tree after the run")
+    run_parser.add_argument("--trace-out", default=None, metavar="PATH",
+                            help="write the recorded span trees as JSONL "
+                                 "(implies tracing)")
     run_parser.add_argument("--repository", default=None,
                             help="load prescriptions from a JSON file "
                                  "instead of the built-in repository")
@@ -134,7 +140,8 @@ def _command_list(out) -> int:
 
 def _command_run(args, out) -> int:
     from repro import BenchmarkSpec, BigDataBenchmark
-    from repro.execution.report import results_json, results_table
+    from repro.execution.report import render_results, render_trace
+    from repro.observability import NULL_TRACER, Tracer
 
     repository = None
     if getattr(args, "repository", None):
@@ -156,9 +163,15 @@ def _command_run(args, out) -> int:
         executor=args.executor,
         max_workers=args.workers,
     )
-    report = framework.run(spec)
+    tracing = args.trace or args.trace_out is not None
+    tracer = Tracer() if tracing else NULL_TRACER
+    report = framework.run(spec, tracer=tracer)
+    if args.trace_out is not None:
+        from pathlib import Path
+
+        Path(args.trace_out).write_text(tracer.to_jsonl() + "\n")
     if args.json:
-        print(results_json(report.results), file=out)
+        print(render_results(report.results, style="json"), file=out)
         return 0
     print("five-step process:", file=out)
     for step in report.steps:
@@ -172,7 +185,10 @@ def _command_run(args, out) -> int:
         framework.prescription(args.prescription).metric_names
         or ["duration", "throughput"]
     )
-    print(results_table(report.results, metric_names), file=out)
+    print(render_results(report.results, metrics=metric_names), file=out)
+    if args.trace:
+        print("\nspan tree:", file=out)
+        print(render_trace(tracer.roots()), file=out)
     return 0
 
 

@@ -29,8 +29,9 @@ from repro.core.test_generator import TestGenerator
 from repro.datagen.base import DataSet
 from repro.datagen.formats import available_formats, convert
 from repro.execution.config import SystemConfiguration, default_configurations
-from repro.execution.report import results_json, results_table
+from repro.execution.report import render_results
 from repro.execution.runner import TestRunner
+from repro.observability import Tracer
 
 
 class UserInterfaceLayer:
@@ -102,10 +103,10 @@ class ExecutionLayer:
 
     def report(self, results: list[RunResult], metric_names: list[str],
                style: str = "ascii") -> str:
-        return results_table(results, metric_names, style)
+        return render_results(results, style=style, metrics=metric_names)
 
     def report_json(self, results: list[RunResult]) -> str:
-        return results_json(results)
+        return render_results(results, style="json")
 
 
 class BigDataBenchmark:
@@ -120,11 +121,21 @@ class BigDataBenchmark:
             self.repository, self.function_layer.test_generator
         )
 
-    def run(self, spec: BenchmarkSpec | str, **options: Any) -> ProcessReport:
-        """Run a spec (or prescription name) through the five-step process."""
+    def run(
+        self,
+        spec: BenchmarkSpec | str,
+        tracer: Tracer | None = None,
+        **options: Any,
+    ) -> ProcessReport:
+        """Run a spec (or prescription name) through the five-step process.
+
+        Pass a :class:`~repro.observability.Tracer` to record the run's
+        span tree (one span per Figure-1 step, with executor, engine,
+        and cache detail nested beneath).
+        """
         if isinstance(spec, str):
             spec = self.user_interface.build_spec(spec, **options)
-        return self._process.execute(spec)
+        return self._process.execute(spec, tracer=tracer)
 
     def prescription(self, name: str) -> Prescription:
         return self.repository.get(name)

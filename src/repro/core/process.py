@@ -17,6 +17,7 @@ from repro.core.results import ResultAnalyzer, RunResult
 from repro.core.spec import BenchmarkSpec
 from repro.core.test_generator import PrescribedTest, TestGenerator
 from repro.datagen.base import DataSet
+from repro.observability import Tracer, current_tracer
 
 
 @dataclass
@@ -66,16 +67,31 @@ class BenchmarkingProcess:
         self.repository = repository or builtin_repository()
         self.test_generator = test_generator or TestGenerator(self.repository)
 
-    def execute(self, spec: BenchmarkSpec) -> ProcessReport:
-        """Run all five steps and return the audit trail."""
+    def execute(
+        self, spec: BenchmarkSpec, tracer: Tracer | None = None
+    ) -> ProcessReport:
+        """Run all five steps and return the audit trail.
+
+        When a ``tracer`` is given (or one is already active on this
+        thread), the whole run records under a ``benchmark-run`` root
+        span with one child span per Figure-1 step; the executor
+        backends and engines nest their own spans beneath those.
+        """
+        tracer = tracer if tracer is not None else current_tracer()
+        with tracer.activate():
+            with tracer.span("benchmark-run", prescription=spec.prescription):
+                return self._execute_steps(spec, tracer)
+
+    def _execute_steps(self, spec: BenchmarkSpec, tracer: Tracer) -> ProcessReport:
         report = ProcessReport(spec=spec)
 
         # Step 1: Planning — validate the spec, resolve engines and metrics.
         started = time.perf_counter()
-        spec.validate(self.repository)
-        prescription = self.repository.get(spec.prescription)
-        engine_names = spec.resolved_engines(self.repository)
-        metric_names = spec.metric_names or prescription.metric_names
+        with tracer.span("planning"):
+            spec.validate(self.repository)
+            prescription = self.repository.get(spec.prescription)
+            engine_names = spec.resolved_engines(self.repository)
+            metric_names = spec.metric_names or prescription.metric_names
         report.steps.append(
             StepReport(
                 "planning",
@@ -90,12 +106,17 @@ class BenchmarkingProcess:
 
         # Step 2: Data Generation — one data set shared by every engine.
         started = time.perf_counter()
-        requirement = prescription.data
-        if spec.data_partitions > 1:
-            from dataclasses import replace
+        with tracer.span("data-generation"):
+            requirement = prescription.data
+            if spec.data_partitions > 1:
+                from dataclasses import replace
 
-            requirement = replace(requirement, num_partitions=spec.data_partitions)
-        dataset: DataSet = self.test_generator.select_data(requirement, spec.volume)
+                requirement = replace(
+                    requirement, num_partitions=spec.data_partitions
+                )
+            dataset: DataSet = self.test_generator.select_data(
+                requirement, spec.volume
+            )
         report.steps.append(
             StepReport(
                 "data-generation",
@@ -111,17 +132,20 @@ class BenchmarkingProcess:
 
         # Step 3: Test Generation — bind the prescription per engine.
         started = time.perf_counter()
-        tests: list[PrescribedTest] = []
-        workload = self.test_generator.workloads.create(prescription.workload)
-        for engine_name in engine_names:
-            tests.append(
-                PrescribedTest(
-                    prescription=prescription,
-                    engine=self.test_generator.engines.create(engine_name),
-                    workload=workload,
-                    dataset=dataset,
-                )
+        with tracer.span("test-generation"):
+            tests: list[PrescribedTest] = []
+            workload = self.test_generator.workloads.create(
+                prescription.workload
             )
+            for engine_name in engine_names:
+                tests.append(
+                    PrescribedTest(
+                        prescription=prescription,
+                        engine=self.test_generator.engines.create(engine_name),
+                        workload=workload,
+                        dataset=dataset,
+                    )
+                )
         report.steps.append(
             StepReport(
                 "test-generation",
@@ -163,17 +187,23 @@ class BenchmarkingProcess:
             )
             for engine_name in engine_names
         ]
-        try:
-            report.results.extend(runner.run_many(run_tasks))
-        finally:
-            runner.close()
+        cache = self.test_generator.dataset_cache
+        cache_before = cache.stats() if cache is not None else None
+        with tracer.span("execution", executor=spec.executor):
+            try:
+                report.results.extend(runner.run_many(run_tasks))
+            finally:
+                runner.close()
         execution_detail: dict[str, Any] = {
             "runs": spec.repeats * len(tests),
             "executor": spec.executor,
         }
-        cache = self.test_generator.dataset_cache
         if cache is not None:
-            execution_detail["dataset_cache"] = cache.stats()
+            # This run's delta, not process-lifetime totals: earlier
+            # runs through the same framework must not inflate it.
+            execution_detail["dataset_cache"] = (
+                cache.stats().since(cache_before).as_dict()
+            )
         report.steps.append(
             StepReport(
                 "execution",
@@ -184,20 +214,23 @@ class BenchmarkingProcess:
 
         # Step 5: Analysis & Evaluation — rank engines on the lead metric.
         started = time.perf_counter()
-        analysis: dict[str, Any] = {}
-        if metric_names and report.results:
-            lead = metric_names[0]
-            lower_is_better = lead in ("duration", "mean_latency", "latency_p99",
-                                       "latency_p95", "energy", "cost")
-            ranking = report.analyzer.ranking(
-                lead, higher_is_better=not lower_is_better
-            )
-            analysis["lead_metric"] = lead
-            analysis["ranking"] = [
-                (result.engine, result.mean(lead))
-                for result in ranking
-                if lead in result.metrics
-            ]
+        with tracer.span("analysis-evaluation"):
+            analysis: dict[str, Any] = {}
+            if metric_names and report.results:
+                lead = metric_names[0]
+                lower_is_better = lead in (
+                    "duration", "mean_latency", "latency_p99",
+                    "latency_p95", "energy", "cost",
+                )
+                ranking = report.analyzer.ranking(
+                    lead, higher_is_better=not lower_is_better
+                )
+                analysis["lead_metric"] = lead
+                analysis["ranking"] = [
+                    (result.engine, result.mean(lead))
+                    for result in ranking
+                    if lead in result.metrics
+                ]
         report.steps.append(
             StepReport(
                 "analysis-evaluation", time.perf_counter() - started, analysis

@@ -34,6 +34,7 @@ from repro.core.prescription import (
 from repro.datagen.base import DataGenerator, DataSet
 from repro.datagen.cache import DatasetCache
 from repro.engines.base import Engine
+from repro.observability import trace_span
 
 
 @dataclass
@@ -115,21 +116,29 @@ class TestGenerator:
             if partitions_override is not None
             else requirement.num_partitions
         )
-        if self.dataset_cache is None:
-            return self._generate_data(generator, requirement, volume, num_partitions)
-        key = DatasetCache.make_key(
-            requirement.generator,
-            generator.seed,
-            volume,
-            num_partitions,
-            requirement.fit_on,
-        )
-        return self.dataset_cache.get_or_generate(
-            key,
-            lambda: self._generate_data(
-                generator, requirement, volume, num_partitions
-            ),
-        )
+        with trace_span(
+            "select-data",
+            generator=requirement.generator,
+            volume=volume,
+            partitions=num_partitions,
+        ):
+            if self.dataset_cache is None:
+                return self._generate_data(
+                    generator, requirement, volume, num_partitions
+                )
+            key = DatasetCache.make_key(
+                requirement.generator,
+                generator.seed,
+                volume,
+                num_partitions,
+                requirement.fit_on,
+            )
+            return self.dataset_cache.get_or_generate(
+                key,
+                lambda: self._generate_data(
+                    generator, requirement, volume, num_partitions
+                ),
+            )
 
     def _generate_data(
         self,
@@ -140,10 +149,18 @@ class TestGenerator:
     ) -> DataSet:
         """The uncached generation path (fit, then generate)."""
         if requirement.fit_on is not None:
-            generator.fit(load_seed(requirement.fit_on))
-        if num_partitions > 1:
-            return generator.generate_parallel(volume, num_partitions)
-        return generator.generate(volume)
+            with trace_span("fit", source=requirement.fit_on):
+                generator.fit(load_seed(requirement.fit_on))
+        with trace_span(
+            "generate", volume=volume, partitions=num_partitions
+        ) as span:
+            if num_partitions > 1:
+                dataset = generator.generate_parallel(volume, num_partitions)
+            else:
+                dataset = generator.generate(volume)
+            if span:
+                span.set(records=dataset.num_records)
+            return dataset
 
     # ------------------------------------------------------------------
     # Steps 2-4: prescription assembly

@@ -14,6 +14,7 @@ from repro.datagen.base import (
     as_dataset,
     mix_seed,
 )
+from repro.datagen.cache import CacheStats, DatasetCache
 from repro.datagen.formats import available_formats, convert
 from repro.datagen.graph import (
     ErdosRenyiGenerator,
@@ -77,10 +78,12 @@ from repro.datagen.weblog import ReviewGenerator, WebLogGenerator
 
 __all__ = [
     "BurstyArrivals",
+    "CacheStats",
     "Categorical",
     "DataGenerator",
     "DataSet",
     "DataType",
+    "DatasetCache",
     "EmpiricalArrivals",
     "ErdosRenyiGenerator",
     "EventKind",

@@ -21,12 +21,58 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from collections.abc import Callable, Mapping
+from dataclasses import dataclass
 from typing import Any
 
 from repro.datagen.base import DataSet
+from repro.observability import current_tracer
 
 #: A fully-resolved cache key; see :meth:`DatasetCache.make_key`.
 CacheKey = tuple
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A typed snapshot of the cache's hit/miss counters.
+
+    Immutable by design: snapshots taken before and after an operation
+    can be subtracted (:meth:`since`) to report what *that operation*
+    cost, instead of process-lifetime totals that earlier unrelated
+    runs inflate.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    #: Entries resident at snapshot time (a gauge, not a counter).
+    entries: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return (self.hits / self.requests) if self.requests else 0.0
+
+    def since(self, earlier: "CacheStats") -> "CacheStats":
+        """The delta between this snapshot and an earlier one.
+
+        Counters subtract; ``entries`` stays this snapshot's gauge.
+        """
+        return CacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            entries=self.entries,
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        """The JSON-friendly form reports embed."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": self.entries,
+            "hit_rate": self.hit_rate,
+        }
 
 
 class DatasetCache:
@@ -100,6 +146,7 @@ class DatasetCache:
             if cached is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
+                current_tracer().count("cache.hits")
                 return cached
             key_lock = self._key_locks.setdefault(key, threading.Lock())
         with key_lock:
@@ -108,9 +155,11 @@ class DatasetCache:
                 if cached is not None:
                     self._entries.move_to_end(key)
                     self.hits += 1
+                    current_tracer().count("cache.hits")
                     return cached
             dataset = factory()
             self.put(key, dataset, _count_miss=True)
+            current_tracer().count("cache.misses")
             with self._lock:
                 self._key_locks.pop(key, None)
             return dataset
@@ -145,16 +194,14 @@ class DatasetCache:
     # Introspection
     # ------------------------------------------------------------------
 
-    def stats(self) -> dict[str, Any]:
-        """Hit/miss counters for run reports."""
+    def stats(self) -> CacheStats:
+        """A typed snapshot of the hit/miss counters for run reports."""
         with self._lock:
-            total = self.hits + self.misses
-            return {
-                "hits": self.hits,
-                "misses": self.misses,
-                "entries": len(self._entries),
-                "hit_rate": (self.hits / total) if total else 0.0,
-            }
+            return CacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                entries=len(self._entries),
+            )
 
     def __len__(self) -> int:
         with self._lock:

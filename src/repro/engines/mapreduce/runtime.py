@@ -37,6 +37,7 @@ from repro.engines.base import (
 from repro.engines.mapreduce.cluster import ClusterModel, ClusterReport
 from repro.engines.mapreduce.counters import CounterGroup
 from repro.engines.mapreduce.job import JobChain, MapReduceJob
+from repro.observability import current_tracer
 
 Pair = tuple[Any, Any]
 
@@ -101,20 +102,45 @@ class MapReduceEngine(Engine):
     # ------------------------------------------------------------------
 
     def run(self, job: MapReduceJob, pairs: Sequence[Pair]) -> JobResult:
-        """Execute one job over the input pairs."""
+        """Execute one job over the input pairs.
+
+        Each Hadoop phase records a span (with per-split/per-partition
+        record counters) into the current tracer, so a traced run shows
+        where a job's wall time went.
+        """
         started = time.perf_counter()
         counters = CounterGroup()
         cost = CostCounters()
+        tracer = current_tracer()
 
-        map_outputs, map_output_sizes, map_task_records = self._map_phase(
-            job, pairs, counters, cost
-        )
-        partitions, shuffle_bytes = self._shuffle_phase(
-            job, map_outputs, map_output_sizes, counters, cost
-        )
-        output, reduce_task_records = self._reduce_phase(
-            job, partitions, counters, cost
-        )
+        with tracer.span("mapreduce-job", job=job.name):
+            with tracer.span("map-phase") as span:
+                map_outputs, map_output_sizes, map_task_records = (
+                    self._map_phase(job, pairs, counters, cost)
+                )
+                if span:
+                    span.set(splits=len(map_outputs),
+                             records_per_split=list(map_task_records))
+                    span.incr("input_records",
+                              counters.get("map", "input_records"))
+                    span.incr("output_records",
+                              counters.get("map", "output_records"))
+            with tracer.span("shuffle-phase") as span:
+                partitions, shuffle_bytes = self._shuffle_phase(
+                    job, map_outputs, map_output_sizes, counters, cost
+                )
+                if span:
+                    span.set(partitions=len(partitions))
+                    span.incr("shuffle_bytes", shuffle_bytes)
+            with tracer.span("reduce-phase") as span:
+                output, reduce_task_records = self._reduce_phase(
+                    job, partitions, counters, cost
+                )
+                if span:
+                    span.set(tasks=len(partitions),
+                             records_per_task=list(reduce_task_records))
+                    span.incr("output_records",
+                              counters.get("reduce", "output_records"))
 
         wall_seconds = time.perf_counter() - started
         cluster_report = self.cluster_model.simulate_job(

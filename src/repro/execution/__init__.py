@@ -15,8 +15,11 @@ from repro.execution.parallel import (
     resolve_executor,
 )
 from repro.execution.report import (
+    RESULT_STYLES,
     ascii_table,
     markdown_table,
+    render_results,
+    render_trace,
     results_json,
     results_table,
 )
@@ -27,6 +30,7 @@ __all__ = [
     "EXECUTOR_BACKENDS",
     "ParallelExecutor",
     "ProcessExecutor",
+    "RESULT_STYLES",
     "RunTask",
     "RunnerOptions",
     "SerialExecutor",
@@ -39,6 +43,8 @@ __all__ = [
     "default_configurations",
     "markdown_table",
     "prepare_input",
+    "render_results",
+    "render_trace",
     "resolve_executor",
     "results_json",
     "results_table",

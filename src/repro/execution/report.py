@@ -1,8 +1,15 @@
 """Result analyzer & reporter rendering (Execution Layer, Figure 2).
 
-Renders analysis results as aligned ASCII tables (what the benchmarks
+One facade, :func:`render_results`, renders analysis results in every
+style the framework emits: aligned ASCII tables (what the benchmarks
 print), markdown tables (what EXPERIMENTS.md embeds), and JSON (for
-machine consumption).
+machine consumption).  The historical :func:`results_table` /
+:func:`results_json` entry points remain as thin delegates.
+
+Trace rendering lives here too: :func:`render_trace` draws the span
+tree a traced run produced (see :mod:`repro.observability`) as an ASCII
+flame/summary tree with durations, percentages, attributes, and
+counters.
 """
 
 from __future__ import annotations
@@ -10,7 +17,12 @@ from __future__ import annotations
 import json
 from typing import Any
 
+from repro.core.errors import ExecutionError
 from repro.core.results import ResultAnalyzer, RunResult
+from repro.observability import Span
+
+#: The styles :func:`render_results` accepts.
+RESULT_STYLES = ("ascii", "markdown", "json")
 
 
 def format_value(value: Any) -> str:
@@ -30,16 +42,25 @@ def format_value(value: Any) -> str:
     return str(value)
 
 
+def _resolve_columns(
+    rows: list[dict[str, Any]], columns: list[str] | None
+) -> list[str]:
+    """Explicit column order, or first-appearance order over all rows."""
+    if columns is not None:
+        return list(columns)
+    resolved: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in resolved:
+                resolved.append(key)
+    return resolved
+
+
 def ascii_table(rows: list[dict[str, Any]], columns: list[str] | None = None) -> str:
     """Render dict rows as an aligned ASCII table."""
     if not rows:
         return "(no rows)"
-    if columns is None:
-        columns = []
-        for row in rows:
-            for key in row:
-                if key not in columns:
-                    columns.append(key)
+    columns = _resolve_columns(rows, columns)
     rendered = [
         {column: format_value(row.get(column, "")) for column in columns}
         for row in rows
@@ -64,12 +85,7 @@ def markdown_table(
     """Render dict rows as a GitHub-flavoured markdown table."""
     if not rows:
         return "(no rows)"
-    if columns is None:
-        columns = []
-        for row in rows:
-            for key in row:
-                if key not in columns:
-                    columns.append(key)
+    columns = _resolve_columns(rows, columns)
     lines = ["| " + " | ".join(columns) + " |"]
     lines.append("|" + "|".join("---" for _ in columns) + "|")
     for row in rows:
@@ -81,19 +97,43 @@ def markdown_table(
     return "\n".join(lines)
 
 
-def results_table(
-    results: list[RunResult], metric_names: list[str], style: str = "ascii"
+# ---------------------------------------------------------------------------
+# The unified reporting facade
+# ---------------------------------------------------------------------------
+
+
+def render_results(
+    results: list[RunResult],
+    style: str = "ascii",
+    metrics: list[str] | None = None,
 ) -> str:
-    """Render run results for the given metrics."""
-    analyzer = ResultAnalyzer(results)
-    rows = analyzer.summary_rows(metric_names)
+    """Render run results in one of the supported styles.
+
+    ``metrics`` selects which metric means the table styles show; when
+    omitted, every metric any result carries is shown (in first-
+    appearance order).  The JSON style always serializes all metric
+    statistics and ignores ``metrics``.
+    """
+    if style not in RESULT_STYLES:
+        raise ExecutionError(
+            f"unknown result style {style!r}; "
+            f"available: {', '.join(RESULT_STYLES)}"
+        )
+    if style == "json":
+        return _render_results_json(results)
+    if metrics is None:
+        metrics = []
+        for result in results:
+            for name in result.metrics:
+                if name not in metrics:
+                    metrics.append(name)
+    rows = ResultAnalyzer(results).summary_rows(metrics)
     if style == "markdown":
         return markdown_table(rows)
     return ascii_table(rows)
 
 
-def results_json(results: list[RunResult]) -> str:
-    """Serialize results (all metric statistics) to JSON."""
+def _render_results_json(results: list[RunResult]) -> str:
     payload = []
     for result in results:
         entry = {
@@ -115,3 +155,59 @@ def results_json(results: list[RunResult]) -> str:
             entry["extra"] = result.extra
         payload.append(entry)
     return json.dumps(payload, indent=2, sort_keys=True, default=str)
+
+
+def results_table(
+    results: list[RunResult], metric_names: list[str], style: str = "ascii"
+) -> str:
+    """Render run results for the given metrics (delegates to the facade)."""
+    return render_results(results, style=style, metrics=metric_names)
+
+
+def results_json(results: list[RunResult]) -> str:
+    """Serialize results to JSON (delegates to the facade)."""
+    return render_results(results, style="json")
+
+
+# ---------------------------------------------------------------------------
+# Trace rendering
+# ---------------------------------------------------------------------------
+
+
+def _span_details(span: Span) -> str:
+    parts = [f"{key}={format_value(value)}" for key, value in span.attrs.items()]
+    parts.extend(
+        f"{key}={format_value(value)}" for key, value in span.counters.items()
+    )
+    return f"  [{' '.join(parts)}]" if parts else ""
+
+
+def render_trace(spans: list[Span], max_depth: int | None = None) -> str:
+    """Draw span trees as an ASCII flame/summary tree.
+
+    Each line shows the span name (indented by depth), its duration,
+    its share of the enclosing root span, and its attributes/counters.
+    """
+    if not spans:
+        return "(no spans)"
+    lines: list[str] = []
+
+    def walk(span: Span, depth: int, root_seconds: float) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        share = (
+            f" {100 * span.duration_seconds / root_seconds:5.1f}%"
+            if root_seconds > 0
+            else ""
+        )
+        label = "  " * depth + span.name
+        lines.append(
+            f"{label:<40s} {span.duration_seconds * 1e3:10.3f} ms"
+            f"{share}{_span_details(span)}"
+        )
+        for child in span.children:
+            walk(child, depth + 1, root_seconds)
+
+    for root in spans:
+        walk(root, 0, root.duration_seconds)
+    return "\n".join(lines)

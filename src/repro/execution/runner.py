@@ -19,6 +19,7 @@ results in the same order as the serial path.
 from __future__ import annotations
 
 import pickle
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -37,7 +38,20 @@ from repro.execution.parallel import (
     ParallelExecutor,
     resolve_executor,
 )
+from repro.observability import (
+    Span,
+    Tracer,
+    current_tracer,
+    summarize_spans,
+)
 from repro.workloads.base import WorkloadResult
+
+#: The ``RunResult.extra`` key a worker's serialized span trees travel
+#: under; popped (and grafted into the parent tracer) by ``run_many``.
+TRACE_EXTRA_KEY = "trace"
+#: The ``RunResult.extra`` key the per-task span summary is kept under
+#: (survives into JSON reports).
+TRACE_SUMMARY_KEY = "trace_summary"
 
 
 @dataclass
@@ -171,19 +185,29 @@ class TestRunner:
         request already ran); the engine is rebuilt per repeat for
         independence.
         """
-        test = self.test_generator.generate(
-            prescription, engine_name, volume_override, data_partitions
+        tracer = current_tracer()
+        prescription_name = (
+            prescription if isinstance(prescription, str) else prescription.name
         )
-        for _ in range(self.options.warmup_runs):
-            fresh = self._rebind(test, engine_name, configuration)
-            self.run_once(fresh, **overrides)
-        workload_results = []
-        for _ in range(self.options.repeats):
-            fresh = self._rebind(test, engine_name, configuration)
-            workload_results.append(self.run_once(fresh, **overrides))
-        return RunResult.from_workload_results(
-            test.name, workload_results, self.suite
-        )
+        with tracer.span(
+            "run", prescription=prescription_name, engine=engine_name
+        ):
+            with tracer.span("test-generation"):
+                test = self.test_generator.generate(
+                    prescription, engine_name, volume_override, data_partitions
+                )
+            for index in range(self.options.warmup_runs):
+                with tracer.span("warmup", index=index):
+                    fresh = self._rebind(test, engine_name, configuration)
+                    self.run_once(fresh, **overrides)
+            workload_results = []
+            for index in range(self.options.repeats):
+                with tracer.span("repeat", index=index):
+                    fresh = self._rebind(test, engine_name, configuration)
+                    workload_results.append(self.run_once(fresh, **overrides))
+            return RunResult.from_workload_results(
+                test.name, workload_results, self.suite
+            )
 
     def _rebind(
         self,
@@ -221,14 +245,81 @@ class TestRunner:
         shares this runner (and its dataset cache); the process backend
         ships each task as a self-contained payload and rebuilds a
         serial runner in the worker.
+
+        When tracing is active, every task — on every backend — records
+        its span tree into a task-local tracer and the parent grafts
+        the finished trees here in submission order, each under a
+        ``task`` span carrying queue-wait vs. execute timings.
         """
         tasks = list(tasks)
+        tracer = current_tracer()
         if len(tasks) <= 1 or self.options.executor == "serial":
-            return [self._run_task(task) for task in tasks]
-        if self.options.executor == "process":
+            if not tracer.enabled:
+                return [self._run_task(task) for task in tasks]
+            submitted = time.perf_counter()
+            results = [
+                self._run_task_traced(task, index, submitted)
+                for index, task in enumerate(tasks)
+            ]
+        elif self.options.executor == "process":
             payloads = [self._task_payload(task) for task in tasks]
-            return self.executor.map(_subprocess_run_task, payloads)
-        return self.executor.map(self._run_task, tasks)
+            if tracer.enabled:
+                submitted = time.perf_counter()
+                for index, payload in enumerate(payloads):
+                    payload["trace"] = True
+                    payload["task_index"] = index
+                    payload["submitted"] = submitted
+            results = self.executor.map(_subprocess_run_task, payloads)
+        else:
+            if not tracer.enabled:
+                return self.executor.map(self._run_task, tasks)
+            submitted = time.perf_counter()
+            results = self.executor.map(
+                lambda pair: self._run_task_traced(pair[1], pair[0], submitted),
+                list(enumerate(tasks)),
+            )
+        if tracer.enabled:
+            self._graft_task_traces(tracer, results)
+        return results
+
+    def _run_task_traced(
+        self, task: RunTask, index: int, submitted: float
+    ) -> RunResult:
+        """One task under a task-local tracer (any thread, same process).
+
+        The local tracer keeps worker-thread spans out of the shared
+        tracer's thread-local stacks; the finished tree travels back in
+        the result payload exactly like a process worker's would, so
+        the merge path is one code path for every backend.
+        """
+        local = Tracer()
+        started = time.perf_counter()
+        with local.activate():
+            with local.span(
+                "task", index=index, engine=task.engine_name
+            ) as span:
+                span.set(queue_wait_seconds=max(0.0, started - submitted))
+                result = self._run_task(task)
+        result.extra[TRACE_EXTRA_KEY] = [
+            root.to_dict() for root in local.roots()
+        ]
+        return result
+
+    @staticmethod
+    def _graft_task_traces(tracer: Tracer, results: list[RunResult]) -> None:
+        """Adopt per-task span trees into the parent tracer, in order.
+
+        The raw trees are popped from the result payload (they have
+        reached their destination); a compact per-name summary stays
+        behind for JSON reports.
+        """
+        for result in results:
+            payloads = result.extra.pop(TRACE_EXTRA_KEY, None)
+            if not payloads:
+                continue
+            spans = [Span.from_dict(payload) for payload in payloads]
+            tracer.graft(spans)
+            result.extra[TRACE_SUMMARY_KEY] = summarize_spans(spans)
 
     def run_on_engines(
         self,
@@ -240,19 +331,21 @@ class TestRunner:
         """The same prescription across several engines (system view).
 
         The deterministic data set is generated once and shared by every
-        engine through the dataset cache; its hit/miss counters are
-        attached to each result's ``extra["dataset_cache"]``.
+        engine through the dataset cache; the hit/miss delta *of this
+        call* (not process-lifetime totals) is attached to each result's
+        ``extra["dataset_cache"]``.
         """
         tasks = [
             RunTask(prescription, engine_name, volume_override, dict(overrides))
             for engine_name in engine_names
         ]
-        results = self.run_many(tasks)
         cache = self.test_generator.dataset_cache
+        before = cache.stats() if cache is not None else None
+        results = self.run_many(tasks)
         if cache is not None:
-            stats = cache.stats()
+            delta = cache.stats().since(before)
             for result in results:
-                result.extra["dataset_cache"] = dict(stats)
+                result.extra["dataset_cache"] = delta.as_dict()
         return results
 
     # ------------------------------------------------------------------
@@ -265,7 +358,9 @@ class TestRunner:
         The prescription ships by value when picklable; otherwise by
         name, to be resolved from the worker's built-in repository
         (iterative prescriptions hold stopping-condition callables that
-        cannot cross a process boundary).
+        cannot cross a process boundary).  The metric suite ships by
+        value too, so custom metrics survive the process boundary; an
+        unpicklable suite falls back to the standard one in the worker.
         """
         prescription = task.prescription
         if isinstance(prescription, str):
@@ -276,6 +371,11 @@ class TestRunner:
             shipped = prescription
         except Exception:
             shipped = prescription.name
+        suite: MetricSuite | None = self.suite
+        try:
+            pickle.dumps(suite)
+        except Exception:
+            suite = None
         configuration = (
             task.configuration
             if task.configuration is not None
@@ -288,6 +388,7 @@ class TestRunner:
             "overrides": dict(task.overrides),
             "configuration": configuration,
             "data_partitions": task.data_partitions,
+            "suite": suite,
             "options": {
                 "repeats": self.options.repeats,
                 "warmup_runs": self.options.warmup_runs,
@@ -303,20 +404,46 @@ def _subprocess_run_task(payload: dict[str, Any]) -> RunResult:
     record-for-record identical to what the parent would have generated;
     metric means (other than wall-clock measurements) match the serial
     path exactly.
+
+    When the payload asks for tracing, the worker records into a fresh
+    tracer and returns its serialized span trees inside the result
+    payload; the parent grafts them in submission order.
     """
     import repro  # noqa: F401 — fills the registries in the worker
 
     runner = TestRunner(
-        options=RunnerOptions(executor="serial", **payload["options"])
+        options=RunnerOptions(executor="serial", **payload["options"]),
+        suite=payload.get("suite"),
     )
     # Engine construction mirrors the parent: the payload carries the
     # resolved configuration (None means a bare registry engine).
     runner.configurations = {}
-    return runner.run(
-        payload["prescription"],
-        payload["engine_name"],
-        payload["volume_override"],
-        configuration=payload["configuration"],
-        data_partitions=payload["data_partitions"],
-        **payload["overrides"],
-    )
+
+    def execute() -> RunResult:
+        return runner.run(
+            payload["prescription"],
+            payload["engine_name"],
+            payload["volume_override"],
+            configuration=payload["configuration"],
+            data_partitions=payload["data_partitions"],
+            **payload["overrides"],
+        )
+
+    if not payload.get("trace"):
+        return execute()
+    local = Tracer()
+    started = time.perf_counter()
+    with local.activate():
+        with local.span(
+            "task",
+            index=payload.get("task_index", 0),
+            engine=payload["engine_name"],
+        ) as span:
+            span.set(
+                queue_wait_seconds=max(
+                    0.0, started - payload.get("submitted", started)
+                )
+            )
+            result = execute()
+    result.extra[TRACE_EXTRA_KEY] = [root.to_dict() for root in local.roots()]
+    return result

@@ -1,0 +1,28 @@
+"""Structured tracing & instrumentation (cross-cutting, zero-dependency).
+
+Gives every layer of the Figure-2 architecture a shared measurement
+substrate: the five-step process, test/data generation, the dataset
+cache, the runner's executor backends, and the MapReduce runtime all
+record into the thread's current :class:`Tracer`.  See
+:mod:`repro.observability.tracing`.
+"""
+
+from repro.observability.tracing import (
+    NULL_SPAN,
+    NULL_TRACER,
+    Span,
+    Tracer,
+    current_tracer,
+    summarize_spans,
+    trace_span,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "summarize_spans",
+    "trace_span",
+]

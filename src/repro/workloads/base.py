@@ -27,6 +27,7 @@ from repro.core.operations import AbstractOperation
 from repro.core.patterns import WorkloadPattern
 from repro.datagen.base import DataSet, DataType
 from repro.engines.base import CostCounters, Engine
+from repro.observability import trace_span
 
 
 class WorkloadCategory(enum.Enum):
@@ -120,10 +121,18 @@ class Workload(ABC):
                 f"workload {self.name!r} does not support engine "
                 f"{engine.name!r}; supported: {self.supported_engines()}"
             )
-        started = time.perf_counter()
-        result = implementation(engine, dataset, **params)
-        if result.duration_seconds == 0.0:
-            result.duration_seconds = time.perf_counter() - started
+        with trace_span(
+            "workload", workload=self.name, engine=engine.name
+        ) as span:
+            started = time.perf_counter()
+            result = implementation(engine, dataset, **params)
+            if result.duration_seconds == 0.0:
+                result.duration_seconds = time.perf_counter() - started
+            if span:
+                # The engine's uniform cost accounting, attached to the
+                # enclosing span (Section 3.1 architecture metrics).
+                for key, value in result.cost.snapshot().items():
+                    span.incr(f"cost.{key}", value)
         return result
 
     def describe(self) -> dict[str, Any]:

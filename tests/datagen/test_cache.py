@@ -8,7 +8,7 @@ import pytest
 
 from repro.core.test_generator import TestGenerator
 from repro.datagen.base import DataSet, DataType
-from repro.datagen.cache import DatasetCache
+from repro.datagen.cache import CacheStats, DatasetCache
 from repro.execution.runner import TestRunner
 
 
@@ -118,9 +118,8 @@ class TestGetOrGenerate:
         cache.get_or_generate(key, _dataset)
         cache.clear()
         assert len(cache) == 0
-        assert cache.stats() == {
-            "hits": 0, "misses": 0, "entries": 0, "hit_rate": 0.0,
-        }
+        assert cache.stats() == CacheStats(hits=0, misses=0, entries=0)
+        assert cache.stats().hit_rate == 0.0
 
     def test_stats_hit_rate(self):
         cache = DatasetCache()
@@ -129,9 +128,22 @@ class TestGetOrGenerate:
         cache.get_or_generate(key, _dataset)
         cache.get_or_generate(key, _dataset)
         stats = cache.stats()
-        assert stats == {
+        assert stats == CacheStats(hits=2, misses=1, entries=1)
+        assert stats.hit_rate == pytest.approx(2 / 3)
+        assert stats.as_dict() == {
             "hits": 2, "misses": 1, "entries": 1, "hit_rate": 2 / 3,
         }
+
+    def test_stats_since_reports_the_delta(self):
+        cache = DatasetCache()
+        key = DatasetCache.make_key("g", 0, 10)
+        cache.get_or_generate(key, _dataset)
+        before = cache.stats()
+        cache.get_or_generate(key, _dataset)
+        cache.get_or_generate(key, _dataset)
+        delta = cache.stats().since(before)
+        assert delta == CacheStats(hits=2, misses=0, entries=1)
+        assert delta.hit_rate == 1.0
 
 
 class TestGeneratorIntegration:
@@ -148,7 +160,7 @@ class TestGeneratorIntegration:
         for engine in ("dbms", "mapreduce", "nosql"):
             generator.generate("database-aggregate-join", engine, 50)
         assert len(calls) == 1
-        assert generator.dataset_cache.stats()["hits"] == 2
+        assert generator.dataset_cache.stats().hits == 2
 
     def test_cached_datasets_are_shared_objects(self):
         generator = TestGenerator()
@@ -179,10 +191,24 @@ class TestRunnerIntegration:
         engines = ["dbms", "mapreduce", "nosql"]
         results = runner.run_on_engines("database-aggregate-join", engines, 60)
         stats = runner.test_generator.dataset_cache.stats()
-        assert stats["misses"] == 1
-        assert stats["hits"] == len(engines) - 1
+        assert stats.misses == 1
+        assert stats.hits == len(engines) - 1
         for result in results:
             assert result.extra["dataset_cache"]["misses"] == 1
+
+    def test_run_on_engines_reports_per_call_deltas(self):
+        runner = TestRunner()
+        engines = ["dbms", "mapreduce", "nosql"]
+        runner.run_on_engines("database-aggregate-join", engines, 60)
+        results = runner.run_on_engines("database-aggregate-join", engines, 60)
+        # The second call is fully served from cache, and its results must
+        # carry that call's delta — not process-lifetime totals.
+        for result in results:
+            assert result.extra["dataset_cache"]["misses"] == 0
+            assert result.extra["dataset_cache"]["hits"] == len(engines)
+        lifetime = runner.test_generator.dataset_cache.stats()
+        assert lifetime.misses == 1
+        assert lifetime.hits == 2 * len(engines) - 1
 
     def test_repeats_share_the_cached_dataset(self):
         from repro.execution.runner import RunnerOptions
@@ -191,5 +217,5 @@ class TestRunnerIntegration:
         runner.run("micro-wordcount", "mapreduce", 30)
         runner.run("micro-wordcount", "mapreduce", 30)
         stats = runner.test_generator.dataset_cache.stats()
-        assert stats["misses"] == 1
-        assert stats["hits"] == 1
+        assert stats.misses == 1
+        assert stats.hits == 1

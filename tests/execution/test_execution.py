@@ -17,13 +17,17 @@ from repro.execution.config import (
 )
 from repro.execution.harness import BenchmarkHarness
 from repro.execution.report import (
+    RESULT_STYLES,
     ascii_table,
     format_value,
     markdown_table,
+    render_results,
+    render_trace,
     results_json,
     results_table,
 )
 from repro.execution.runner import RunnerOptions, TestRunner
+from repro.observability import Span
 
 
 class TestSystemConfiguration:
@@ -188,3 +192,129 @@ class TestReporting:
         assert format_value(0.25) == "0.25"
         assert format_value(1e-6) == "1.000e-06"
         assert format_value("txt") == "txt"
+
+    def test_format_value_negative_floats(self):
+        assert format_value(-2500.0) == "-2,500"
+        assert format_value(-5.5) == "-5.5"
+        assert format_value(-0.25) == "-0.25"
+        assert format_value(-1e-6) == "-1.000e-06"
+
+    def test_format_value_tiny_floats_use_scientific(self):
+        # Values below the 0.001 fixed-point floor must not print as 0.
+        assert format_value(0.0005) == "5.000e-04"
+        assert format_value(0.000999) == "9.990e-04"
+        assert format_value(0.001) == "0.001"
+        assert format_value(0.0) == "0"
+
+
+class TestRenderFacade:
+    def _results(self) -> list[RunResult]:
+        runner = TestRunner()
+        return [runner.run("micro-wordcount", "mapreduce", 15)]
+
+    def test_style_registry(self):
+        assert RESULT_STYLES == ("ascii", "markdown", "json")
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ExecutionError):
+            render_results([], style="html")
+
+    def test_ascii_is_the_default_style(self):
+        results = self._results()
+        assert render_results(results, metrics=["duration"]) == render_results(
+            results, style="ascii", metrics=["duration"]
+        )
+
+    def test_delegates_match_the_facade(self):
+        results = self._results()
+        assert results_table(results, ["duration"]) == render_results(
+            results, style="ascii", metrics=["duration"]
+        )
+        assert results_table(
+            results, ["duration"], style="markdown"
+        ) == render_results(results, style="markdown", metrics=["duration"])
+        assert results_json(results) == render_results(results, style="json")
+
+    def test_omitted_metrics_show_every_metric(self):
+        results = self._results()
+        table = render_results(results)
+        for name in results[0].metrics:
+            assert name in table
+
+    def test_json_style_serializes_all_statistics(self):
+        results = self._results()
+        payload = json.loads(render_results(results, style="json"))
+        stats = payload[0]["metrics"]["duration"]
+        assert set(stats) == {"mean", "min", "max", "stdev"}
+
+
+class TestTableEdgeCases:
+    def test_explicit_column_order(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        table = ascii_table(rows, columns=["c", "a"])
+        header = table.splitlines()[0]
+        assert header.split(" | ") == ["c", "a"]
+        assert "b" not in header
+
+    def test_mixed_rows_union_columns_in_first_appearance_order(self):
+        rows = [{"a": 1}, {"b": 2}, {"a": 3, "c": 4}]
+        lines = ascii_table(rows).splitlines()
+        assert [cell.strip() for cell in lines[0].split(" | ")] == [
+            "a", "b", "c",
+        ]
+        # Missing cells render blank, not "None".
+        assert "None" not in lines[2]
+
+    def test_missing_cells_keep_alignment(self):
+        table = ascii_table([{"a": 1, "b": 2}, {"a": 10}])
+        lines = table.splitlines()
+        assert len({len(line) for line in lines}) == 1
+
+    def test_markdown_empty_rows(self):
+        assert markdown_table([]) == "(no rows)"
+
+    def test_markdown_explicit_columns(self):
+        table = markdown_table([{"a": 1, "b": 2}], columns=["b"])
+        assert table.splitlines()[0] == "| b |"
+
+
+class TestTraceRendering:
+    def _forest(self) -> list[Span]:
+        root = Span(
+            "benchmark-run", attrs={"prescription": "micro-wordcount"},
+            duration_seconds=1.0,
+        )
+        child = Span("execution", duration_seconds=0.5)
+        child.children.append(
+            Span("task", counters={"cache.hits": 2}, duration_seconds=0.25)
+        )
+        root.children.append(child)
+        return [root]
+
+    def test_empty_forest(self):
+        assert render_trace([]) == "(no spans)"
+
+    def test_tree_shows_names_durations_and_shares(self):
+        text = render_trace(self._forest())
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("benchmark-run")
+        assert "1000.000 ms" in lines[0]
+        assert "100.0%" in lines[0]
+        assert lines[1].startswith("  execution")
+        assert "50.0%" in lines[1]
+        assert lines[2].startswith("    task")
+
+    def test_attrs_and_counters_render(self):
+        text = render_trace(self._forest())
+        assert "[prescription=micro-wordcount]" in text
+        assert "cache.hits=2" in text
+
+    def test_max_depth_prunes_the_tree(self):
+        text = render_trace(self._forest(), max_depth=1)
+        assert "task" not in text
+        assert "execution" in text
+
+    def test_zero_duration_root_has_no_share(self):
+        text = render_trace([Span("instant", duration_seconds=0.0)])
+        assert "%" not in text

@@ -11,6 +11,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.errors import ExecutionError
+from repro.core.metrics import Metric, MetricKind, MetricSuite
 from repro.core.prescription import Prescription
 from repro.engines.mapreduce import JobConf, MapReduceEngine, MapReduceJob
 from repro.execution.config import SystemConfiguration
@@ -23,6 +24,7 @@ from repro.execution.parallel import (
     resolve_executor,
 )
 from repro.execution.runner import RunnerOptions, RunTask, TestRunner
+from repro.observability import Tracer
 
 ENGINES = ["dbms", "mapreduce", "nosql"]
 PRESCRIPTION = "database-aggregate-join"
@@ -158,6 +160,21 @@ class TestBackendParity:
         assert threaded.series("throughput") == serial.series("throughput")
 
 
+class _RecordsInMetric(Metric):
+    """Module-level (picklable) custom metric for suite-shipping tests."""
+
+    name = "records_in"
+    kind = MetricKind.ARCHITECTURE
+    unit = "records"
+
+    def compute(self, evidence):
+        return float(evidence.records_in)
+
+
+def _extended_suite() -> MetricSuite:
+    return MetricSuite(MetricSuite.standard().metrics + [_RecordsInMetric()])
+
+
 class TestProcessPayloads:
     def test_picklable_prescription_ships_by_value(self):
         runner = TestRunner()
@@ -175,6 +192,100 @@ class TestProcessPayloads:
         runner = TestRunner()
         payload = runner._task_payload(RunTask("micro-wordcount", "mapreduce"))
         assert payload["configuration"] is runner.configurations["mapreduce"]
+
+    def test_picklable_suite_ships_by_value(self):
+        runner = TestRunner(suite=_extended_suite())
+        payload = runner._task_payload(RunTask("micro-wordcount", "mapreduce"))
+        assert payload["suite"] is runner.suite
+
+    def test_unpicklable_suite_falls_back_to_standard(self):
+        class LocalMetric(Metric):  # local class: cannot pickle instances
+            name = "local"
+
+            def compute(self, evidence):
+                return 1.0
+
+        runner = TestRunner(suite=MetricSuite([LocalMetric()]))
+        payload = runner._task_payload(RunTask("micro-wordcount", "mapreduce"))
+        assert payload["suite"] is None
+
+    def test_custom_suite_survives_the_process_boundary(self):
+        """Workers must compute the runner's suite, not silently revert
+        to the standard one (the historical bug)."""
+        options = RunnerOptions(executor="process", max_workers=2)
+        with TestRunner(options=options, suite=_extended_suite()) as runner:
+            results = runner.run_on_engines(PRESCRIPTION, ENGINES[:2], 60)
+        with TestRunner(suite=_extended_suite()) as serial_runner:
+            serial = serial_runner.run_on_engines(PRESCRIPTION, ENGINES[:2], 60)
+        for result, expected in zip(results, serial):
+            assert "records_in" in result.metrics
+            # records_in counts dataset records — deterministic, so the
+            # worker's value must equal the serial path's exactly.
+            assert result.mean("records_in") == expected.mean("records_in")
+
+
+class TestTracedBackends:
+    """Tracing must see through every executor backend identically:
+    one ``task`` span per submission (in order), queue-wait recorded,
+    the full ``run`` tree beneath, and cache counters inside."""
+
+    @pytest.mark.parametrize("backend", EXECUTOR_BACKENDS)
+    def test_task_span_trees_match_the_serial_shape(self, backend):
+        tracer = Tracer()
+        options = RunnerOptions(executor=backend, max_workers=2)
+        with TestRunner(options=options) as runner, tracer.activate():
+            results = runner.run_on_engines(PRESCRIPTION, ENGINES, 60)
+        roots = tracer.roots()
+        assert [root.name for root in roots] == ["task"] * len(ENGINES)
+        assert [root.attrs["engine"] for root in roots] == ENGINES
+        for index, root in enumerate(roots):
+            assert root.attrs["index"] == index
+            assert root.attrs["queue_wait_seconds"] >= 0.0
+            (run_span,) = root.children
+            assert run_span.name == "run"
+            child_names = [child.name for child in run_span.children]
+            assert child_names[0] == "test-generation"
+            assert child_names.count("repeat") == 1
+            # Phase durations nest consistently: children fit inside
+            # their parent (small float tolerance).
+            assert sum(
+                child.duration_seconds for child in run_span.children
+            ) <= run_span.duration_seconds + 1e-6
+            assert run_span.duration_seconds <= root.duration_seconds + 1e-6
+        # The dataset cache recorded hit/miss counters somewhere in each
+        # tree (the parent cache for serial/thread, the worker's own for
+        # process — either way the counters must be present).
+        for root in roots:
+            counters: set[str] = set()
+            for span in root.walk():
+                counters.update(span.counters)
+            assert counters & {"cache.hits", "cache.misses"}
+        # The compact summary stays in the result payload; the raw trees
+        # were popped when they were grafted.
+        for result in results:
+            assert "trace" not in result.extra
+            summary = result.extra["trace_summary"]
+            assert summary["task"]["count"] == 1
+            assert "run" in summary
+
+    @pytest.mark.parametrize("backend", EXECUTOR_BACKENDS)
+    def test_disabled_tracer_records_nothing(self, backend):
+        tracer = Tracer(enabled=False)
+        options = RunnerOptions(executor=backend, max_workers=2)
+        with TestRunner(options=options) as runner, tracer.activate():
+            results = runner.run_on_engines(PRESCRIPTION, ENGINES[:2], 60)
+        assert tracer.roots() == []
+        for result in results:
+            assert "trace" not in result.extra
+            assert "trace_summary" not in result.extra
+
+    def test_traced_results_match_untraced_results(self):
+        with TestRunner() as runner:
+            untraced = runner.run_on_engines(PRESCRIPTION, ENGINES, 60)
+        tracer = Tracer()
+        with TestRunner() as runner, tracer.activate():
+            traced = runner.run_on_engines(PRESCRIPTION, ENGINES, 60)
+        assert _metric_means(traced) == _metric_means(untraced)
 
 
 class TestConfigurationSweep:

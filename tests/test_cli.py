@@ -76,6 +76,74 @@ class TestRun:
             run_cli("run", "micro-sort", "--param", "notkeyvalue")
 
 
+class TestTraceFlags:
+    STEPS = ("planning", "data-generation", "test-generation",
+             "execution", "analysis-evaluation")
+
+    def test_trace_prints_the_span_tree(self):
+        code, output = run_cli(
+            "run", "micro-wordcount", "--volume", "20", "--trace"
+        )
+        assert code == 0
+        assert "span tree:" in output
+        tree = output.split("span tree:")[1]
+        assert "benchmark-run" in tree
+        for step in self.STEPS:
+            assert step in tree
+        assert "queue_wait_seconds=" in tree
+        assert "ms" in tree
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_trace_covers_every_executor_backend(self, executor):
+        code, output = run_cli(
+            "run", "micro-wordcount", "--volume", "20",
+            "--executor", executor, "--workers", "2", "--trace",
+        )
+        assert code == 0
+        tree = output.split("span tree:")[1]
+        assert "task" in tree
+        assert "queue_wait_seconds=" in tree
+
+    def test_trace_out_writes_parseable_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        code, output = run_cli(
+            "run", "micro-wordcount", "--volume", "20",
+            "--trace-out", str(path),
+        )
+        assert code == 0
+        # --trace-out alone records but does not print the tree.
+        assert "span tree:" not in output
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1
+        root = json.loads(lines[0])
+        assert root["name"] == "benchmark-run"
+        names = {span["name"] for span in _walk_payload(root)}
+        assert set(self.STEPS) <= names
+        assert "task" in names and "run" in names
+
+    def test_step_durations_sum_to_the_run_total(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        code, _ = run_cli(
+            "run", "micro-wordcount", "--volume", "20",
+            "--trace-out", str(path),
+        )
+        assert code == 0
+        root = json.loads(path.read_text().strip())
+        steps = sum(
+            child["duration_seconds"] for child in root["children"]
+        )
+        assert 0 < steps <= root["duration_seconds"]
+        # The five steps account for (nearly) the whole run.
+        assert steps >= 0.9 * root["duration_seconds"]
+
+
+def _walk_payload(node: dict) -> list[dict]:
+    spans = [node]
+    for child in node.get("children", []):
+        spans.extend(_walk_payload(child))
+    return spans
+
+
 class TestGenerate:
     def test_purely_synthetic(self):
         code, output = run_cli(

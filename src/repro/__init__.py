@@ -46,7 +46,12 @@ from repro.core.prescription import (  # noqa: E402
     builtin_repository,
 )
 from repro.core.process import BenchmarkingProcess, ProcessReport  # noqa: E402
-from repro.core.results import ResultAnalyzer, RunResult  # noqa: E402
+from repro.core.results import (  # noqa: E402
+    ResultAnalyzer,
+    RunResult,
+    TaskFailure,
+    split_outcomes,
+)
 from repro.core.spec import BenchmarkSpec  # noqa: E402
 from repro.core.test_generator import PrescribedTest, TestGenerator  # noqa: E402
 from repro.datagen.base import DataSet, DataType  # noqa: E402
@@ -74,12 +79,14 @@ __all__ = [
     "RunEvidence",
     "RunResult",
     "Span",
+    "TaskFailure",
     "TestGenerator",
     "Tracer",
     "UserInterfaceLayer",
     "builtin_repository",
     "current_tracer",
     "register_default_components",
+    "split_outcomes",
     "trace_span",
     "__version__",
 ]

@@ -53,6 +53,20 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--workers", type=int, default=None,
                             help="worker count for the pooled executor "
                                  "backends (default: one per CPU)")
+    run_parser.add_argument("--on-error", default="abort",
+                            choices=["abort", "continue"],
+                            help="failure policy: abort the run on the "
+                                 "first task error, or capture per-task "
+                                 "failures and keep going")
+    run_parser.add_argument("--retries", type=int, default=0,
+                            help="extra attempts per task after the first")
+    run_parser.add_argument("--retry-backoff", type=float, default=0.0,
+                            help="base backoff (seconds) before the second "
+                                 "attempt; grows exponentially with seeded "
+                                 "jitter")
+    run_parser.add_argument("--task-timeout", type=float, default=None,
+                            help="wall-clock budget per task attempt, in "
+                                 "seconds")
     run_parser.add_argument("--param", action="append", default=[],
                             metavar="KEY=VALUE",
                             help="workload parameter override")
@@ -162,6 +176,10 @@ def _command_run(args, out) -> int:
         params=_parse_params(args.param),
         executor=args.executor,
         max_workers=args.workers,
+        on_error=args.on_error,
+        retries=args.retries,
+        retry_backoff=args.retry_backoff,
+        task_timeout=args.task_timeout,
     )
     tracing = args.trace or args.trace_out is not None
     tracer = Tracer() if tracing else NULL_TRACER
@@ -170,8 +188,9 @@ def _command_run(args, out) -> int:
         from pathlib import Path
 
         Path(args.trace_out).write_text(tracer.to_jsonl() + "\n")
+    outcomes = report.results + report.failures
     if args.json:
-        print(render_results(report.results, style="json"), file=out)
+        print(render_results(outcomes, style="json"), file=out)
         return 0
     print("five-step process:", file=out)
     for step in report.steps:
@@ -185,7 +204,10 @@ def _command_run(args, out) -> int:
         framework.prescription(args.prescription).metric_names
         or ["duration", "throughput"]
     )
-    print(render_results(report.results, metrics=metric_names), file=out)
+    print(render_results(outcomes, metrics=metric_names), file=out)
+    if report.failures:
+        print(f"failures: {len(report.failures)} task(s) failed "
+              f"(on-error=continue kept the run going)", file=out)
     if args.trace:
         print("\nspan tree:", file=out)
         print(render_trace(tracer.roots()), file=out)

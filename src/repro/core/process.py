@@ -13,7 +13,12 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.prescription import PrescriptionRepository, builtin_repository
-from repro.core.results import ResultAnalyzer, RunResult
+from repro.core.results import (
+    ResultAnalyzer,
+    RunResult,
+    TaskFailure,
+    split_outcomes,
+)
 from repro.core.spec import BenchmarkSpec
 from repro.core.test_generator import PrescribedTest, TestGenerator
 from repro.datagen.base import DataSet
@@ -31,11 +36,18 @@ class StepReport:
 
 @dataclass
 class ProcessReport:
-    """The complete audit trail of one benchmarking run."""
+    """The complete audit trail of one benchmarking run.
+
+    Under ``spec.on_error="continue"`` a misbehaving engine no longer
+    aborts the run: its captured :class:`TaskFailure` lands in
+    ``failures`` (and in the execution step's ``detail["failures"]``)
+    while every completed result stays in ``results``.
+    """
 
     spec: BenchmarkSpec
     steps: list[StepReport] = field(default_factory=list)
     results: list[RunResult] = field(default_factory=list)
+    failures: list[TaskFailure] = field(default_factory=list)
 
     @property
     def analyzer(self) -> ResultAnalyzer:
@@ -169,6 +181,10 @@ class BenchmarkingProcess:
                 check_format=False,
                 executor=spec.executor,
                 max_workers=spec.max_workers,
+                on_error=spec.on_error,
+                retries=spec.retries,
+                retry_backoff=spec.retry_backoff,
+                task_timeout=spec.task_timeout,
             ),
         )
         # Bare registry engines, exactly as the historical per-step loop
@@ -191,13 +207,23 @@ class BenchmarkingProcess:
         cache_before = cache.stats() if cache is not None else None
         with tracer.span("execution", executor=spec.executor):
             try:
-                report.results.extend(runner.run_many(run_tasks))
+                outcomes = runner.run_many(run_tasks)
             finally:
                 runner.close()
+        results, failures = split_outcomes(outcomes)
+        report.results.extend(results)
+        report.failures.extend(failures)
         execution_detail: dict[str, Any] = {
             "runs": spec.repeats * len(tests),
             "executor": spec.executor,
         }
+        if failures:
+            # The captured per-task failure records (submission order):
+            # what failed, why, and how many attempts the retry policy
+            # spent — the audit trail of a degraded-but-complete run.
+            execution_detail["failures"] = [
+                failure.as_dict() for failure in failures
+            ]
         if cache is not None:
             # This run's delta, not process-lifetime totals: earlier
             # runs through the same framework must not inflate it.

@@ -4,11 +4,17 @@ A :class:`RunResult` aggregates the repeated executions of one prescribed
 test into metric statistics; :class:`ResultAnalyzer` compares results
 across engines or configurations — the paper's example use: "benchmarking
 results can identify the performance bottlenecks in big data systems".
+
+Fault tolerance adds a second outcome type: a :class:`TaskFailure` is
+the captured record of a task that exhausted its retry budget under the
+``on_error="continue"`` policy — the batch keeps its completed results
+and reports *what* failed instead of discarding everything.
 """
 
 from __future__ import annotations
 
 import statistics
+import traceback
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -53,6 +59,13 @@ class RunResult:
     metrics: dict[str, MetricStats] = field(default_factory=dict)
     extra: dict[str, Any] = field(default_factory=dict)
 
+    #: Successful outcomes are always "ok" (see :class:`TaskFailure`).
+    status: str = field(default="ok", init=False, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return True
+
     def metric(self, name: str) -> MetricStats:
         try:
             return self.metrics[name]
@@ -95,11 +108,111 @@ class RunResult:
         )
 
 
+@dataclass
+class TaskFailure:
+    """The captured record of one task that failed every attempt.
+
+    Produced by the runner under ``on_error="continue"`` in place of a
+    :class:`RunResult`, holding everything a post-mortem needs: the
+    exception type and message, a compact traceback summary, and how
+    many attempts the retry policy spent.  Merged in submission order
+    alongside successful results, so the batch's shape is preserved.
+    """
+
+    test_name: str
+    workload: str
+    engine: str
+    error_type: str
+    error_message: str
+    traceback_summary: str = ""
+    attempts: int = 1
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    #: Failed outcomes are always "failed" (see :class:`RunResult`).
+    status: str = field(default="failed", init=False, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+    @property
+    def error(self) -> str:
+        """One-line ``Type: message`` form for tables and logs."""
+        if self.error_message:
+            return f"{self.error_type}: {self.error_message}"
+        return self.error_type
+
+    def as_dict(self) -> dict[str, Any]:
+        """The JSON-friendly form reports embed."""
+        payload: dict[str, Any] = {
+            "test": self.test_name,
+            "workload": self.workload,
+            "engine": self.engine,
+            "status": self.status,
+            "error_type": self.error_type,
+            "error_message": self.error_message,
+            "attempts": self.attempts,
+        }
+        if self.traceback_summary:
+            payload["traceback"] = self.traceback_summary
+        if self.extra:
+            payload["extra"] = self.extra
+        return payload
+
+    @classmethod
+    def from_exception(
+        cls,
+        test_name: str,
+        workload: str,
+        engine: str,
+        error: BaseException,
+        attempts: int = 1,
+        max_frames: int = 3,
+    ) -> "TaskFailure":
+        """Capture an exception (innermost ``max_frames`` frames only)."""
+        frames = traceback.extract_tb(error.__traceback__)[-max_frames:]
+        summary = "; ".join(
+            f"{frame.filename.rsplit('/', 1)[-1]}:{frame.lineno} "
+            f"in {frame.name}"
+            for frame in frames
+        )
+        return cls(
+            test_name=test_name,
+            workload=workload,
+            engine=engine,
+            error_type=type(error).__name__,
+            error_message=str(error),
+            traceback_summary=summary,
+            attempts=attempts,
+        )
+
+
+#: What fan-out entry points return per task: a result or a captured
+#: failure (only under ``on_error="continue"``), in submission order.
+RunOutcome = "RunResult | TaskFailure"
+
+
+def split_outcomes(
+    outcomes: list,
+) -> tuple[list[RunResult], list[TaskFailure]]:
+    """Partition merged outcomes into successes and captured failures."""
+    results = [o for o in outcomes if isinstance(o, RunResult)]
+    failures = [o for o in outcomes if isinstance(o, TaskFailure)]
+    return results, failures
+
+
 class ResultAnalyzer:
-    """Cross-result comparison (who wins, by what factor)."""
+    """Cross-result comparison (who wins, by what factor).
+
+    Accepts mixed outcome lists for convenience: captured failures carry
+    no metrics, so analysis silently considers successful results only —
+    the degraded-batch semantics the fault-tolerance layer promises.
+    """
 
     def __init__(self, results: list[RunResult]) -> None:
-        self.results = list(results)
+        self.results = [
+            result for result in results if isinstance(result, RunResult)
+        ]
 
     def add(self, result: RunResult) -> None:
         self.results.append(result)

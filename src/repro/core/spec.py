@@ -8,6 +8,7 @@ eagerly so misconfiguration fails at the Planning step, not mid-run.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.core import registry
@@ -32,10 +33,24 @@ class BenchmarkSpec:
     repeats: int = 1
     #: Workload parameter overrides.
     params: dict = field(default_factory=dict)
-    #: Fan-out backend for independent runs: "serial", "thread", "process".
-    executor: str = "serial"
+    #: Fan-out backend for independent runs: "serial", "thread",
+    #: "process" (the ``REPRO_EXECUTOR`` environment variable overrides
+    #: the serial default; see ``repro.execution.parallel``).
+    executor: str = field(
+        default_factory=lambda: os.environ.get("REPRO_EXECUTOR", "serial")
+    )
     #: Worker count for the pooled executor backends; None = one per CPU.
     max_workers: int | None = None
+    #: Failure policy: "abort" (fail-fast) or "continue" (capture
+    #: per-task failures, keep completed results).
+    on_error: str = "abort"
+    #: Extra attempts per task after the first (0 = never retry).
+    retries: int = 0
+    #: Base backoff before the second attempt; grows exponentially with
+    #: deterministic seeded jitter.
+    retry_backoff: float = 0.0
+    #: Wall-clock budget per task attempt, in seconds (None = unbounded).
+    task_timeout: float | None = None
 
     def validate(self, repository: PrescriptionRepository) -> None:
         """Raise :class:`SpecError` on any inconsistency."""
@@ -55,6 +70,7 @@ class BenchmarkSpec:
         # Imported lazily: core.spec must not pull the execution package
         # in at import time.
         from repro.execution.parallel import EXECUTOR_BACKENDS
+        from repro.execution.retry import ON_ERROR_POLICIES
 
         if self.executor not in EXECUTOR_BACKENDS:
             raise SpecError(
@@ -64,6 +80,23 @@ class BenchmarkSpec:
         if self.max_workers is not None and self.max_workers <= 0:
             raise SpecError(
                 f"max_workers must be positive, got {self.max_workers}"
+            )
+        if self.on_error not in ON_ERROR_POLICIES:
+            raise SpecError(
+                f"unknown on_error policy {self.on_error!r}; "
+                f"available: {', '.join(ON_ERROR_POLICIES)}"
+            )
+        if self.retries < 0:
+            raise SpecError(
+                f"retries must be non-negative, got {self.retries}"
+            )
+        if self.retry_backoff < 0:
+            raise SpecError(
+                f"retry_backoff must be non-negative, got {self.retry_backoff}"
+            )
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise SpecError(
+                f"task_timeout must be positive, got {self.task_timeout}"
             )
         prescription = repository.get(self.prescription)
         workload_name = prescription.workload

@@ -150,19 +150,25 @@ class DatasetCache:
                 return cached
             key_lock = self._key_locks.setdefault(key, threading.Lock())
         with key_lock:
-            with self._lock:
-                cached = self._entries.get(key)
-                if cached is not None:
-                    self._entries.move_to_end(key)
-                    self.hits += 1
-                    current_tracer().count("cache.hits")
-                    return cached
-            dataset = factory()
-            self.put(key, dataset, _count_miss=True)
-            current_tracer().count("cache.misses")
-            with self._lock:
-                self._key_locks.pop(key, None)
-            return dataset
+            try:
+                with self._lock:
+                    cached = self._entries.get(key)
+                    if cached is not None:
+                        self._entries.move_to_end(key)
+                        self.hits += 1
+                        current_tracer().count("cache.hits")
+                        return cached
+                dataset = factory()
+                self.put(key, dataset, _count_miss=True)
+                current_tracer().count("cache.misses")
+                return dataset
+            finally:
+                # Always retire the per-key lock — including when the
+                # factory raises.  Leaking it would leave every later
+                # caller of this key serializing on a dead lock forever.
+                with self._lock:
+                    self._key_locks.pop(key, None)
+
 
     def put(
         self, key: CacheKey, dataset: DataSet, _count_miss: bool = False

@@ -17,11 +17,23 @@ from repro.engines.base import (
     SimulatedClusterSpec,
     schedule_lpt,
 )
+from repro.engines.faults import (
+    FaultSpec,
+    FaultyEngine,
+    FaultyWorkload,
+    InjectedFault,
+    with_faults,
+)
 
 __all__ = [
     "CostCounters",
     "Engine",
     "EngineInfo",
+    "FaultSpec",
+    "FaultyEngine",
+    "FaultyWorkload",
+    "InjectedFault",
     "SimulatedClusterSpec",
     "schedule_lpt",
+    "with_faults",
 ]

@@ -23,23 +23,39 @@ from repro.execution.report import (
     results_json,
     results_table,
 )
-from repro.execution.runner import RunnerOptions, RunTask, TestRunner
+from repro.execution.retry import (
+    ON_ERROR_POLICIES,
+    RetryPolicy,
+    TaskTimeoutError,
+    call_with_timeout,
+)
+from repro.execution.runner import (
+    RunnerOptions,
+    RunOutcome,
+    RunTask,
+    TestRunner,
+)
 
 __all__ = [
     "BenchmarkHarness",
     "EXECUTOR_BACKENDS",
+    "ON_ERROR_POLICIES",
     "ParallelExecutor",
     "ProcessExecutor",
     "RESULT_STYLES",
+    "RetryPolicy",
+    "RunOutcome",
     "RunTask",
     "RunnerOptions",
     "SerialExecutor",
     "SweepPoint",
     "SweepReport",
     "SystemConfiguration",
+    "TaskTimeoutError",
     "TestRunner",
     "ThreadExecutor",
     "ascii_table",
+    "call_with_timeout",
     "default_configurations",
     "markdown_table",
     "prepare_input",

@@ -20,14 +20,31 @@ from repro.engines.base import Engine, EngineInfo, SimulatedClusterSpec
 
 @dataclass
 class SystemConfiguration:
-    """A named way to instantiate one engine."""
+    """A named way to instantiate one engine.
+
+    ``fault`` attaches a seeded fault-injection schedule (see
+    :mod:`repro.engines.faults`): the built engine is wrapped in a
+    :class:`~repro.engines.faults.FaultyEngine` so executions fail or
+    stall deterministically — the substrate the retry and degradation
+    paths are tested against.  The whole configuration is picklable, so
+    faulty engines cross the process-executor boundary intact.
+    """
 
     engine_name: str
     options: dict[str, Any] = field(default_factory=dict)
     label: str = ""
+    fault: Any = None  # repro.engines.faults.FaultSpec (import kept lazy)
 
     def build(self) -> Engine:
         """Instantiate the configured engine."""
+        engine = self._build_bare()
+        if self.fault is not None:
+            from repro.engines.faults import FaultyEngine
+
+            engine = FaultyEngine(engine, self.fault)
+        return engine
+
+    def _build_bare(self) -> Engine:
         if self.engine_name == "mapreduce":
             from repro.engines.mapreduce import MapReduceEngine
 

@@ -34,6 +34,17 @@ R = TypeVar("R")
 #: BenchmarkSpec, the CLI ``--executor`` flag, engine configurations).
 EXECUTOR_BACKENDS = ("serial", "thread", "process")
 
+#: Environment variable overriding the default backend everywhere a
+#: backend is not chosen explicitly.  CI uses it to run the whole test
+#: suite's default-configured runners on the thread or process backend,
+#: so backend-specific regressions cannot hide behind the serial default.
+EXECUTOR_ENV_VAR = "REPRO_EXECUTOR"
+
+
+def default_backend() -> str:
+    """The backend used when none is configured (env-overridable)."""
+    return os.environ.get(EXECUTOR_ENV_VAR, "serial")
+
 
 def default_max_workers() -> int:
     """Worker count when none is configured: one per CPU, at least one."""

@@ -18,7 +18,7 @@ import json
 from typing import Any
 
 from repro.core.errors import ExecutionError
-from repro.core.results import ResultAnalyzer, RunResult
+from repro.core.results import RunResult, TaskFailure
 from repro.observability import Span
 
 #: The styles :func:`render_results` accepts.
@@ -103,7 +103,7 @@ def markdown_table(
 
 
 def render_results(
-    results: list[RunResult],
+    results: list[RunResult | TaskFailure],
     style: str = "ascii",
     metrics: list[str] | None = None,
 ) -> str:
@@ -113,6 +113,12 @@ def render_results(
     omitted, every metric any result carries is shown (in first-
     appearance order).  The JSON style always serializes all metric
     statistics and ignores ``metrics``.
+
+    Outcome lists from a fault-tolerant run render in place: a captured
+    :class:`TaskFailure` keeps its submission-order row with ``status``
+    and ``error`` columns, and ``status``/``attempts`` columns appear
+    whenever any outcome failed or was retried — batches that never saw
+    a failure render exactly as before.
     """
     if style not in RESULT_STYLES:
         raise ExecutionError(
@@ -124,18 +130,61 @@ def render_results(
     if metrics is None:
         metrics = []
         for result in results:
-            for name in result.metrics:
-                if name not in metrics:
-                    metrics.append(name)
-    rows = ResultAnalyzer(results).summary_rows(metrics)
+            if isinstance(result, RunResult):
+                for name in result.metrics:
+                    if name not in metrics:
+                        metrics.append(name)
+    rows = _outcome_rows(results, metrics)
     if style == "markdown":
         return markdown_table(rows)
     return ascii_table(rows)
 
 
-def _render_results_json(results: list[RunResult]) -> str:
+def _outcome_rows(
+    results: list[RunResult | TaskFailure], metrics: list[str]
+) -> list[dict[str, Any]]:
+    """Flat table rows, one per outcome, in submission order.
+
+    Failure/retry columns appear only when the batch carries that
+    metadata, keeping clean runs' tables identical to the historical
+    output.
+    """
+    failures = [r for r in results if isinstance(r, TaskFailure)]
+    retried = any(
+        isinstance(r, RunResult) and r.extra.get("attempts", 1) > 1
+        for r in results
+    ) or any(failure.attempts > 1 for failure in failures)
+    show_status = bool(failures) or retried
+    rows: list[dict[str, Any]] = []
+    for result in results:
+        row: dict[str, Any] = {
+            "test": result.test_name,
+            "workload": result.workload,
+            "engine": result.engine,
+        }
+        if show_status:
+            row["status"] = result.status
+        if isinstance(result, TaskFailure):
+            if retried or result.attempts > 1:
+                row["attempts"] = result.attempts
+            row["error"] = result.error
+        else:
+            row["repeats"] = result.repeats
+            if retried and "attempts" in result.extra:
+                row["attempts"] = result.extra["attempts"]
+            for name in metrics:
+                if name in result.metrics:
+                    row[name] = result.mean(name)
+        rows.append(row)
+    return rows
+
+
+def _render_results_json(results: list[RunResult | TaskFailure]) -> str:
     payload = []
     for result in results:
+        if isinstance(result, TaskFailure):
+            payload.append(result.as_dict())
+            continue
         entry = {
             "test": result.test_name,
             "workload": result.workload,

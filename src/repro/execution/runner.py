@@ -14,6 +14,15 @@ of a sweep — fan out over the pluggable executor the
 ``thread`` / ``process``; see :mod:`repro.execution.parallel`).  Results
 are merged in submission order, so every backend returns the same
 results in the same order as the serial path.
+
+Fan-out is fault tolerant.  Every task attempt runs under the options'
+:class:`~repro.execution.retry.RetryPolicy` (bounded attempts, seeded
+exponential backoff) and optional per-task timeout, uniformly on all
+three backends.  The ``on_error`` policy decides what a task that
+exhausts its attempts does to the batch: ``"abort"`` (the default)
+re-raises — the historical fail-fast semantics — while ``"continue"``
+captures a :class:`~repro.core.results.TaskFailure` in the task's
+submission-order slot and lets the rest of the batch complete.
 """
 
 from __future__ import annotations
@@ -26,8 +35,9 @@ from typing import Any
 from repro.core.errors import ExecutionError
 from repro.core.metrics import MetricSuite
 from repro.core.prescription import Prescription
-from repro.core.results import RunResult
+from repro.core.results import RunResult, TaskFailure
 from repro.core.test_generator import PrescribedTest, TestGenerator
+from repro.engines.faults import fault_attempt
 from repro.execution.config import (
     SystemConfiguration,
     default_configurations,
@@ -36,7 +46,13 @@ from repro.execution.config import (
 from repro.execution.parallel import (
     EXECUTOR_BACKENDS,
     ParallelExecutor,
+    default_backend,
     resolve_executor,
+)
+from repro.execution.retry import (
+    ON_ERROR_POLICIES,
+    RetryPolicy,
+    call_with_timeout,
 )
 from repro.observability import (
     Span,
@@ -45,6 +61,9 @@ from repro.observability import (
     summarize_spans,
 )
 from repro.workloads.base import WorkloadResult
+
+#: What the fan-out entry points return per task.
+RunOutcome = RunResult | TaskFailure
 
 #: The ``RunResult.extra`` key a worker's serialized span trees travel
 #: under; popped (and grafted into the parent tracer) by ``run_many``.
@@ -62,10 +81,26 @@ class RunnerOptions:
     warmup_runs: int = 0
     #: Validate format convertibility before running (Section 2.3).
     check_format: bool = True
-    #: Fan-out backend for independent runs: "serial", "thread", "process".
-    executor: str = "serial"
+    #: Fan-out backend for independent runs: "serial", "thread",
+    #: "process".  Defaults to "serial" unless the ``REPRO_EXECUTOR``
+    #: environment variable names another backend.
+    executor: str = field(default_factory=default_backend)
     #: Worker count for the pooled backends; None means one per CPU.
     max_workers: int | None = None
+    #: What a task that exhausts its attempts does to the batch:
+    #: "abort" re-raises (fail-fast, the historical semantics) while
+    #: "continue" captures a TaskFailure and completes the batch.
+    on_error: str = "abort"
+    #: Extra attempts after the first (0 = never retry).
+    retries: int = 0
+    #: Base backoff before the second attempt; grows exponentially.
+    retry_backoff: float = 0.0
+    #: Seeded jitter fraction applied to each backoff delay.
+    retry_jitter: float = 0.1
+    #: Seed of the deterministic jitter stream.
+    retry_seed: int = 0
+    #: Wall-clock budget per task attempt, in seconds (None = unbounded).
+    task_timeout: float | None = None
 
     def __post_init__(self) -> None:
         if self.repeats <= 0:
@@ -83,6 +118,43 @@ class RunnerOptions:
             raise ExecutionError(
                 f"max_workers must be positive, got {self.max_workers}"
             )
+        if self.on_error not in ON_ERROR_POLICIES:
+            raise ExecutionError(
+                f"unknown on_error policy {self.on_error!r}; "
+                f"available: {', '.join(ON_ERROR_POLICIES)}"
+            )
+        if self.retries < 0:
+            raise ExecutionError(
+                f"retries must be non-negative, got {self.retries}"
+            )
+        if self.retry_backoff < 0:
+            raise ExecutionError(
+                f"retry_backoff must be non-negative, got {self.retry_backoff}"
+            )
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ExecutionError(
+                f"task_timeout must be positive, got {self.task_timeout}"
+            )
+
+    def retry_policy(
+        self,
+        retries: int | None = None,
+        retry_backoff: float | None = None,
+    ) -> RetryPolicy:
+        """The options' retry policy, with optional per-call overrides."""
+        effective_retries = self.retries if retries is None else retries
+        if effective_retries < 0:
+            raise ExecutionError(
+                f"retries must be non-negative, got {effective_retries}"
+            )
+        return RetryPolicy(
+            max_attempts=effective_retries + 1,
+            backoff_seconds=(
+                self.retry_backoff if retry_backoff is None else retry_backoff
+            ),
+            jitter=self.retry_jitter,
+            seed=self.retry_seed,
+        )
 
 
 @dataclass
@@ -124,16 +196,25 @@ class TestRunner:
         self.options = options or RunnerOptions()
         self.suite = suite or MetricSuite.standard()
         self._executor: ParallelExecutor | None = None
+        self._executor_key: tuple[str, int | None] | None = None
 
     # ------------------------------------------------------------------
 
     @property
     def executor(self) -> ParallelExecutor:
-        """The fan-out backend the options select (created lazily)."""
+        """The fan-out backend the options select (created lazily).
+
+        Mutating ``options.executor`` / ``options.max_workers`` after
+        the first access is honored: the cached executor is shut down
+        and re-resolved whenever the options no longer match it.
+        """
+        wanted = (self.options.executor, self.options.max_workers)
+        if self._executor is not None and self._executor_key != wanted:
+            self._executor.shutdown()
+            self._executor = None
         if self._executor is None:
-            self._executor = resolve_executor(
-                self.options.executor, self.options.max_workers
-            )
+            self._executor = resolve_executor(*wanted)
+            self._executor_key = wanted
         return self._executor
 
     def close(self) -> None:
@@ -237,7 +318,95 @@ class TestRunner:
             **task.overrides,
         )
 
-    def run_many(self, tasks: list[RunTask]) -> list[RunResult]:
+    @staticmethod
+    def _task_identity(task: RunTask) -> tuple[str, str]:
+        """(prescription name, workload name) for keys and failure records."""
+        if isinstance(task.prescription, str):
+            return task.prescription, task.prescription
+        return task.prescription.name, task.prescription.workload
+
+    def _attempt_loop(
+        self,
+        task: RunTask,
+        policy: RetryPolicy,
+        on_error: str,
+        task_span: Span | None = None,
+    ) -> RunOutcome:
+        """Run one task under the retry policy; capture or re-raise.
+
+        Each attempt executes inside a :func:`fault_attempt` scope (so
+        injected faults key their seeded decisions on the task and the
+        attempt index — identically on every backend) and, when a
+        per-task timeout is configured, inside a wall-clock bound.  The
+        loop retries failures the policy deems retryable, sleeping its
+        deterministic backoff schedule; once attempts are exhausted the
+        ``on_error`` policy decides between re-raising (``abort``) and
+        returning a :class:`TaskFailure` (``continue``).
+        """
+        prescription_name, workload_name = self._task_identity(task)
+        task_key = f"{prescription_name}@{task.engine_name}"
+        timeout = self.options.task_timeout
+        tracer = current_tracer()
+        error: BaseException | None = None
+        attempts = 0
+        for attempt in range(policy.max_attempts):
+            attempts = attempt + 1
+            try:
+
+                def body(attempt: int = attempt) -> RunResult:
+                    with fault_attempt(task_key, attempt):
+                        return self._run_task(task)
+
+                result = call_with_timeout(body, timeout)
+            except Exception as caught:  # noqa: BLE001 — policy-filtered
+                error = caught
+                tracer.count("task.failed_attempts")
+                if not policy.should_retry(caught, attempts):
+                    break
+                tracer.count("task.retries")
+                delay = policy.delay(attempts, task_key)
+                if delay > 0:
+                    with tracer.span(
+                        "backoff", attempt=attempts, seconds=delay
+                    ):
+                        time.sleep(delay)
+                continue
+            if policy.max_attempts > 1:
+                result.extra["attempts"] = attempts
+            if task_span:
+                task_span.set(attempts=attempts, status="ok")
+            return result
+        if task_span:
+            task_span.set(
+                attempts=attempts,
+                status="failed",
+                error=type(error).__name__,
+            )
+        if on_error == "abort":
+            raise error
+        return TaskFailure.from_exception(
+            test_name=task_key,
+            workload=workload_name,
+            engine=task.engine_name,
+            error=error,
+            attempts=attempts,
+        )
+
+    def _run_task_guarded(
+        self, task: RunTask, policy: RetryPolicy, on_error: str
+    ) -> RunOutcome:
+        """The untraced per-task path (serial loop or thread worker)."""
+        return self._attempt_loop(task, policy, on_error)
+
+    def run_many(
+        self,
+        tasks: list[RunTask],
+        *,
+        on_error: str | None = None,
+        retries: int | None = None,
+        retry_backoff: float | None = None,
+        retry_policy: RetryPolicy | None = None,
+    ) -> list[RunOutcome]:
         """Run independent tasks on the configured executor backend.
 
         Results come back in submission order, so every backend is a
@@ -246,94 +415,154 @@ class TestRunner:
         ships each task as a self-contained payload and rebuilds a
         serial runner in the worker.
 
+        The keyword-only arguments override the options' failure policy
+        for this call: ``on_error`` selects abort/continue semantics,
+        ``retries``/``retry_backoff`` adjust the derived retry policy,
+        and ``retry_policy`` replaces it outright.  Under
+        ``on_error="continue"`` the returned list holds a
+        :class:`TaskFailure` in the slot of every task that exhausted
+        its attempts — on all three backends.
+
         When tracing is active, every task — on every backend — records
         its span tree into a task-local tracer and the parent grafts
         the finished trees here in submission order, each under a
-        ``task`` span carrying queue-wait vs. execute timings.
+        ``task`` span carrying queue-wait vs. execute timings plus the
+        attempt count and final status.
         """
         tasks = list(tasks)
+        on_error = on_error if on_error is not None else self.options.on_error
+        if on_error not in ON_ERROR_POLICIES:
+            raise ExecutionError(
+                f"unknown on_error policy {on_error!r}; "
+                f"available: {', '.join(ON_ERROR_POLICIES)}"
+            )
+        policy = retry_policy or self.options.retry_policy(
+            retries, retry_backoff
+        )
         tracer = current_tracer()
         if len(tasks) <= 1 or self.options.executor == "serial":
             if not tracer.enabled:
-                return [self._run_task(task) for task in tasks]
+                return [
+                    self._run_task_guarded(task, policy, on_error)
+                    for task in tasks
+                ]
             submitted = time.perf_counter()
-            results = [
-                self._run_task_traced(task, index, submitted)
+            outcomes = [
+                self._run_task_traced(
+                    task, index, policy, on_error, submitted=submitted
+                )
                 for index, task in enumerate(tasks)
             ]
         elif self.options.executor == "process":
-            payloads = [self._task_payload(task) for task in tasks]
-            if tracer.enabled:
-                submitted = time.perf_counter()
-                for index, payload in enumerate(payloads):
-                    payload["trace"] = True
-                    payload["task_index"] = index
-                    payload["submitted"] = submitted
-            results = self.executor.map(_subprocess_run_task, payloads)
+            # The submit stamp crosses the process boundary, so it must
+            # be wall-clock time: perf_counter has a per-process epoch
+            # and deltas across processes are meaningless.
+            submitted_wall = time.time()
+            payloads = [
+                self._task_payload(
+                    task,
+                    policy=policy,
+                    on_error=on_error,
+                    task_index=index,
+                    submitted_wall=submitted_wall,
+                    trace=tracer.enabled,
+                )
+                for index, task in enumerate(tasks)
+            ]
+            outcomes = self.executor.map(_subprocess_run_task, payloads)
         else:
-            if not tracer.enabled:
-                return self.executor.map(self._run_task, tasks)
             submitted = time.perf_counter()
-            results = self.executor.map(
-                lambda pair: self._run_task_traced(pair[1], pair[0], submitted),
-                list(enumerate(tasks)),
-            )
+            if not tracer.enabled:
+                outcomes = self.executor.map(
+                    lambda task: self._run_task_guarded(task, policy, on_error),
+                    tasks,
+                )
+            else:
+                outcomes = self.executor.map(
+                    lambda pair: self._run_task_traced(
+                        pair[1], pair[0], policy, on_error, submitted=submitted
+                    ),
+                    list(enumerate(tasks)),
+                )
         if tracer.enabled:
-            self._graft_task_traces(tracer, results)
-        return results
+            self._graft_task_traces(tracer, outcomes)
+        return outcomes
 
     def _run_task_traced(
-        self, task: RunTask, index: int, submitted: float
-    ) -> RunResult:
+        self,
+        task: RunTask,
+        index: int,
+        policy: RetryPolicy,
+        on_error: str,
+        submitted: float | None = None,
+        queue_wait: float | None = None,
+    ) -> RunOutcome:
         """One task under a task-local tracer (any thread, same process).
 
         The local tracer keeps worker-thread spans out of the shared
         tracer's thread-local stacks; the finished tree travels back in
-        the result payload exactly like a process worker's would, so
-        the merge path is one code path for every backend.
+        the outcome payload exactly like a process worker's would, so
+        the merge path is one code path for every backend.  In-process
+        callers pass the ``perf_counter`` submit stamp; the process
+        worker passes a precomputed wall-clock ``queue_wait`` instead.
         """
         local = Tracer()
-        started = time.perf_counter()
+        if queue_wait is None:
+            queue_wait = (
+                max(0.0, time.perf_counter() - submitted)
+                if submitted is not None
+                else 0.0
+            )
         with local.activate():
             with local.span(
                 "task", index=index, engine=task.engine_name
             ) as span:
-                span.set(queue_wait_seconds=max(0.0, started - submitted))
-                result = self._run_task(task)
-        result.extra[TRACE_EXTRA_KEY] = [
+                span.set(queue_wait_seconds=queue_wait)
+                outcome = self._attempt_loop(
+                    task, policy, on_error, task_span=span
+                )
+        outcome.extra[TRACE_EXTRA_KEY] = [
             root.to_dict() for root in local.roots()
         ]
-        return result
+        return outcome
 
     @staticmethod
-    def _graft_task_traces(tracer: Tracer, results: list[RunResult]) -> None:
+    def _graft_task_traces(tracer: Tracer, outcomes: list[RunOutcome]) -> None:
         """Adopt per-task span trees into the parent tracer, in order.
 
-        The raw trees are popped from the result payload (they have
+        The raw trees are popped from the outcome payload (they have
         reached their destination); a compact per-name summary stays
-        behind for JSON reports.
+        behind for JSON reports.  Captured failures carry trees too —
+        their attempts are part of the run's timeline.
         """
-        for result in results:
-            payloads = result.extra.pop(TRACE_EXTRA_KEY, None)
+        for outcome in outcomes:
+            payloads = outcome.extra.pop(TRACE_EXTRA_KEY, None)
             if not payloads:
                 continue
             spans = [Span.from_dict(payload) for payload in payloads]
             tracer.graft(spans)
-            result.extra[TRACE_SUMMARY_KEY] = summarize_spans(spans)
+            outcome.extra[TRACE_SUMMARY_KEY] = summarize_spans(spans)
 
     def run_on_engines(
         self,
         prescription: Prescription | str,
         engine_names: list[str],
         volume_override: int | None = None,
+        *,
+        on_error: str | None = None,
+        retries: int | None = None,
+        retry_backoff: float | None = None,
         **overrides: Any,
-    ) -> list[RunResult]:
+    ) -> list[RunOutcome]:
         """The same prescription across several engines (system view).
 
         The deterministic data set is generated once and shared by every
         engine through the dataset cache; the hit/miss delta *of this
-        call* (not process-lifetime totals) is attached to each result's
-        ``extra["dataset_cache"]``.
+        call* (not process-lifetime totals) is attached to each
+        outcome's ``extra["dataset_cache"]``.  ``on_error="continue"``
+        keeps one misbehaving engine from discarding the comparison:
+        its slot holds a :class:`TaskFailure` while the other engines'
+        results survive.
         """
         tasks = [
             RunTask(prescription, engine_name, volume_override, dict(overrides))
@@ -341,18 +570,32 @@ class TestRunner:
         ]
         cache = self.test_generator.dataset_cache
         before = cache.stats() if cache is not None else None
-        results = self.run_many(tasks)
+        outcomes = self.run_many(
+            tasks,
+            on_error=on_error,
+            retries=retries,
+            retry_backoff=retry_backoff,
+        )
         if cache is not None:
             delta = cache.stats().since(before)
-            for result in results:
-                result.extra["dataset_cache"] = delta.as_dict()
-        return results
+            for outcome in outcomes:
+                outcome.extra["dataset_cache"] = delta.as_dict()
+        return outcomes
 
     # ------------------------------------------------------------------
     # Process-backend plumbing
     # ------------------------------------------------------------------
 
-    def _task_payload(self, task: RunTask) -> dict[str, Any]:
+    def _task_payload(
+        self,
+        task: RunTask,
+        *,
+        policy: RetryPolicy | None = None,
+        on_error: str | None = None,
+        task_index: int = 0,
+        submitted_wall: float | None = None,
+        trace: bool = False,
+    ) -> dict[str, Any]:
         """A self-contained, picklable description of one task.
 
         The prescription ships by value when picklable; otherwise by
@@ -361,6 +604,9 @@ class TestRunner:
         cannot cross a process boundary).  The metric suite ships by
         value too, so custom metrics survive the process boundary; an
         unpicklable suite falls back to the standard one in the worker.
+        The retry policy ships by value when picklable (preserving a
+        custom ``retryable`` filter); otherwise the worker rebuilds an
+        equivalent policy from the scalar options.
         """
         prescription = task.prescription
         if isinstance(prescription, str):
@@ -381,6 +627,12 @@ class TestRunner:
             if task.configuration is not None
             else self.configurations.get(task.engine_name)
         )
+        policy = policy or self.options.retry_policy()
+        shipped_policy: RetryPolicy | None = policy
+        try:
+            pickle.dumps(policy)
+        except Exception:
+            shipped_policy = None
         return {
             "prescription": shipped,
             "engine_name": task.engine_name,
@@ -393,11 +645,23 @@ class TestRunner:
                 "repeats": self.options.repeats,
                 "warmup_runs": self.options.warmup_runs,
                 "check_format": self.options.check_format,
+                "on_error": (
+                    on_error if on_error is not None else self.options.on_error
+                ),
+                "retries": policy.max_attempts - 1,
+                "retry_backoff": policy.backoff_seconds,
+                "retry_jitter": policy.jitter,
+                "retry_seed": policy.seed,
+                "task_timeout": self.options.task_timeout,
             },
+            "retry_policy": shipped_policy,
+            "task_index": task_index,
+            "submitted_wall": submitted_wall,
+            "trace": trace,
         }
 
 
-def _subprocess_run_task(payload: dict[str, Any]) -> RunResult:
+def _subprocess_run_task(payload: dict[str, Any]) -> RunOutcome:
     """Worker-process entry point: rebuild a serial runner and run.
 
     Generation is deterministic, so the worker's fresh dataset is
@@ -405,9 +669,18 @@ def _subprocess_run_task(payload: dict[str, Any]) -> RunResult:
     metric means (other than wall-clock measurements) match the serial
     path exactly.
 
+    The retry loop runs *here*, inside the worker, through the same
+    attempt-loop code path as the serial and thread backends — so fault
+    injection, backoff, and failure capture behave identically.  Under
+    ``on_error="continue"`` the captured :class:`TaskFailure` returns
+    through the pool like any result; under ``"abort"`` the exception
+    propagates and the pool re-raises it in the parent.
+
     When the payload asks for tracing, the worker records into a fresh
-    tracer and returns its serialized span trees inside the result
-    payload; the parent grafts them in submission order.
+    tracer and returns its serialized span trees inside the outcome
+    payload; the parent grafts them in submission order.  Queue wait is
+    computed from the payload's wall-clock submit stamp — wall clocks
+    are the only clocks that cross the process boundary.
     """
     import repro  # noqa: F401 — fills the registries in the worker
 
@@ -418,32 +691,28 @@ def _subprocess_run_task(payload: dict[str, Any]) -> RunResult:
     # Engine construction mirrors the parent: the payload carries the
     # resolved configuration (None means a bare registry engine).
     runner.configurations = {}
-
-    def execute() -> RunResult:
-        return runner.run(
-            payload["prescription"],
-            payload["engine_name"],
-            payload["volume_override"],
-            configuration=payload["configuration"],
-            data_partitions=payload["data_partitions"],
-            **payload["overrides"],
-        )
-
+    task = RunTask(
+        prescription=payload["prescription"],
+        engine_name=payload["engine_name"],
+        volume_override=payload["volume_override"],
+        overrides=dict(payload["overrides"]),
+        configuration=payload["configuration"],
+        data_partitions=payload["data_partitions"],
+    )
+    policy = payload.get("retry_policy") or runner.options.retry_policy()
+    on_error = runner.options.on_error
     if not payload.get("trace"):
-        return execute()
-    local = Tracer()
-    started = time.perf_counter()
-    with local.activate():
-        with local.span(
-            "task",
-            index=payload.get("task_index", 0),
-            engine=payload["engine_name"],
-        ) as span:
-            span.set(
-                queue_wait_seconds=max(
-                    0.0, started - payload.get("submitted", started)
-                )
-            )
-            result = execute()
-    result.extra[TRACE_EXTRA_KEY] = [root.to_dict() for root in local.roots()]
-    return result
+        return runner._run_task_guarded(task, policy, on_error)
+    submitted_wall = payload.get("submitted_wall")
+    queue_wait = (
+        max(0.0, time.time() - submitted_wall)
+        if submitted_wall is not None
+        else 0.0
+    )
+    return runner._run_task_traced(
+        task,
+        payload.get("task_index", 0),
+        policy,
+        on_error,
+        queue_wait=queue_wait,
+    )

@@ -304,13 +304,16 @@ def trace_span(name: str, **attrs: Any):
     return current_tracer().span(name, **attrs)
 
 
-def summarize_spans(spans: list[Span]) -> dict[str, dict[str, float]]:
+def summarize_spans(spans: list[Span]) -> dict[str, dict[str, Any]]:
     """Aggregate a span forest by name: call count and total duration.
 
     This is the compact per-result form embedded in JSON reports, where
-    a full tree would drown the metrics it annotates.
+    a full tree would drown the metrics it annotates.  Counters total
+    under a ``counters`` key per span name (present only when a span of
+    that name carried any) — how retry counts and cache hit/miss totals
+    survive into reports without shipping the whole tree.
     """
-    summary: dict[str, dict[str, float]] = {}
+    summary: dict[str, dict[str, Any]] = {}
     for root in spans:
         for span in root.walk():
             entry = summary.setdefault(
@@ -318,4 +321,8 @@ def summarize_spans(spans: list[Span]) -> dict[str, dict[str, float]]:
             )
             entry["count"] += 1
             entry["total_seconds"] += span.duration_seconds
+            if span.counters:
+                totals = entry.setdefault("counters", {})
+                for counter, amount in span.counters.items():
+                    totals[counter] = totals.get(counter, 0) + amount
     return summary

@@ -124,6 +124,13 @@ class Workload(ABC):
         with trace_span(
             "workload", workload=self.name, engine=engine.name
         ) as span:
+            # Fault-injection seam: an engine that defines ``inject_fault``
+            # (see repro.engines.faults.FaultyEngine) may raise or stall
+            # here, modeling a system that is unavailable or slow before
+            # useful work starts.  Bare engines pay one getattr.
+            inject = getattr(engine, "inject_fault", None)
+            if inject is not None:
+                inject(f"workload {self.name!r}")
             started = time.perf_counter()
             result = implementation(engine, dataset, **params)
             if result.duration_seconds == 0.0:

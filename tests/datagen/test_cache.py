@@ -98,6 +98,33 @@ class TestGetOrGenerate:
         assert len(calls) == 1
         assert cache.misses == 1 and cache.hits == 3
 
+    def test_raising_factory_releases_the_key_lock(self):
+        # Regression: a raising factory used to leak the per-key lock,
+        # leaving it in the table (and, worse, permanently held on
+        # Python builds where the with-block unwind was interrupted).
+        cache = DatasetCache()
+        key = DatasetCache.make_key("g", 0, 10)
+
+        def explode():
+            raise RuntimeError("generation failed")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_generate(key, explode)
+        assert cache._key_locks == {}
+        # The key stays generatable: the next caller must not deadlock
+        # or see a stale entry.
+        assert cache.get_or_generate(key, _dataset).name == "d"
+        assert key in cache
+
+    def test_raising_factory_counts_no_miss(self):
+        cache = DatasetCache()
+        key = DatasetCache.make_key("g", 0, 10)
+        with pytest.raises(RuntimeError):
+            cache.get_or_generate(key, lambda: (_ for _ in ()).throw(
+                RuntimeError("boom")
+            ))
+        assert cache.stats() == CacheStats(hits=0, misses=0, entries=0)
+
     def test_lru_eviction(self):
         cache = DatasetCache(max_entries=2)
         keys = [DatasetCache.make_key("g", seed, 10) for seed in range(3)]

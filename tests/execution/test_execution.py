@@ -104,7 +104,12 @@ class TestRunnerBehaviour:
 
 class TestHarness:
     def test_volume_sweep_series(self):
-        harness = BenchmarkHarness()
+        # Serial on purpose: the duration-grows assertion compares
+        # wall-clock measurements, which pooled backends perturb with
+        # per-worker warm-up and CPU contention.
+        harness = BenchmarkHarness(
+            TestRunner(options=RunnerOptions(executor="serial"))
+        )
         report = harness.volume_sweep(
             "micro-wordcount", "mapreduce", [10, 40]
         )

@@ -116,10 +116,15 @@ class TestRunnerOptionsValidation:
         with pytest.raises(ExecutionError):
             RunnerOptions(max_workers=0)
 
-    def test_defaults_are_serial(self):
+    def test_defaults_are_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
         options = RunnerOptions()
         assert options.executor == "serial"
         assert options.max_workers is None
+
+    def test_executor_default_honours_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "thread")
+        assert RunnerOptions().executor == "thread"
 
 
 class TestBackendParity:

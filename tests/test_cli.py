@@ -67,6 +67,19 @@ class TestRun:
         payload = json.loads(output)
         assert payload[0]["engine"] == "mapreduce"
 
+    def test_fault_tolerance_flags_accepted(self):
+        code, output = run_cli(
+            "run", "micro-wordcount", "--volume", "30",
+            "--retries", "2", "--retry-backoff", "0",
+            "--on-error", "continue", "--task-timeout", "30",
+        )
+        assert code == 0
+        assert "failures" not in output  # clean run: no failure section
+
+    def test_on_error_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            run_cli("run", "micro-wordcount", "--on-error", "panic")
+
     def test_unknown_prescription_fails_cleanly(self):
         code, _ = run_cli("run", "does-not-exist")
         assert code == 2

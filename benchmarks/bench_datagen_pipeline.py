@@ -1,0 +1,164 @@
+"""E14 — the chunked dataset pipeline: throughput and peak memory.
+
+Compares the two shapes of the data path on the same generator and
+volume:
+
+* **materialized** — ``generate(volume)`` builds the full record list;
+* **chunked** — ``iter_batches(volume, chunk_size)`` streams
+  ``RecordBatch`` chunks, holding one chunk at a time.
+
+Each shape runs in its own subprocess so ``ru_maxrss`` is a clean
+per-shape high-water mark (within one process the peak never resets).
+The contract asserted here is the pipeline's core claim: the chunked
+pass touches every record the materialized pass produces (same count,
+same digest) while its peak RSS stays essentially flat as volume grows.
+
+Each run appends a JSON row to ``BENCH_datagen_pipeline.json`` so the
+throughput and memory numbers accumulate into a perf trajectory across
+revisions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from conftest import print_banner
+
+from repro.execution.report import ascii_table
+
+GENERATOR = "random-text"
+VOLUME = 100_000
+CHUNK_SIZES = (128, 1024, 8192)
+
+RESULTS_FILE = Path(__file__).parent / "BENCH_datagen_pipeline.json"
+SRC_DIR = str(Path(__file__).resolve().parents[1] / "src")
+
+#: The child generates in the requested shape and reports elapsed
+#: seconds, peak RSS, record count, and a record digest on stdout.
+_CHILD = """
+import hashlib
+import json
+import resource
+import sys
+import time
+
+mode = sys.argv[1]            # "materialized" | "chunked"
+volume = int(sys.argv[2])
+chunk_size = int(sys.argv[3])
+
+import repro
+from repro.core import registry
+
+generator = registry.generators.create({generator!r})
+digest = hashlib.sha256()
+started = time.perf_counter()
+if mode == "materialized":
+    records = generator.generate(volume).records
+    count = len(records)
+    for record in records:
+        digest.update(record.encode())
+else:
+    count = 0
+    for batch in generator.iter_batches(volume, chunk_size):
+        count += len(batch)
+        for record in batch:
+            digest.update(record.encode())
+elapsed = time.perf_counter() - started
+print(json.dumps({{
+    "seconds": elapsed,
+    "peak_rss_bytes": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    * 1024,
+    "records": count,
+    "digest": digest.hexdigest(),
+}}))
+"""
+
+
+def _run_shape(tmp_path: Path, mode: str, chunk_size: int = 0) -> dict:
+    script = tmp_path / "pipeline_shape.py"
+    script.write_text(_CHILD.format(generator=GENERATOR))
+    completed = subprocess.run(
+        [sys.executable, str(script), mode, str(VOLUME), str(chunk_size)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env={"PYTHONPATH": SRC_DIR, "PATH": os.environ.get("PATH", "")},
+        check=True,
+    )
+    return json.loads(completed.stdout.strip().splitlines()[-1])
+
+
+def _append_trajectory_row(row: dict) -> None:
+    history = []
+    if RESULTS_FILE.exists():
+        history = json.loads(RESULTS_FILE.read_text())
+    history.append(row)
+    RESULTS_FILE.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def test_chunked_vs_materialized_pipeline(benchmark, tmp_path):
+    def drive():
+        shapes = {"materialized": _run_shape(tmp_path, "materialized")}
+        for chunk_size in CHUNK_SIZES:
+            shapes[f"chunked-{chunk_size}"] = _run_shape(
+                tmp_path, "chunked", chunk_size
+            )
+        return shapes
+
+    shapes = benchmark.pedantic(drive, rounds=1, iterations=1)
+
+    print_banner("E14", "chunked pipeline — throughput and peak RSS")
+    print(
+        ascii_table(
+            [
+                {
+                    "shape": shape,
+                    "records/s": data["records"] / data["seconds"],
+                    "seconds": data["seconds"],
+                    "peak RSS MB": data["peak_rss_bytes"] / 1e6,
+                }
+                for shape, data in shapes.items()
+            ]
+        )
+    )
+
+    # Contract 1: every shape visits the same records, bit for bit.
+    reference = shapes["materialized"]
+    assert reference["records"] == VOLUME
+    for shape, data in shapes.items():
+        assert data["records"] == reference["records"], shape
+        assert data["digest"] == reference["digest"], shape
+
+    # Contract 2: chunking bounds memory — every chunked shape's peak
+    # stays below the materialized peak (the record list itself is tens
+    # of MB at this volume, so the gap is structural, not noise).
+    for chunk_size in CHUNK_SIZES:
+        chunked = shapes[f"chunked-{chunk_size}"]
+        assert chunked["peak_rss_bytes"] < reference["peak_rss_bytes"], (
+            chunk_size
+        )
+
+    _append_trajectory_row(
+        {
+            "benchmark": "datagen_pipeline.chunked_vs_materialized",
+            "generator": GENERATOR,
+            "volume": VOLUME,
+            "cpus": os.cpu_count(),
+            "python": platform.python_version(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "shapes": {
+                shape: {
+                    "seconds": data["seconds"],
+                    "records_per_second": data["records"] / data["seconds"],
+                    "peak_rss_bytes": data["peak_rss_bytes"],
+                }
+                for shape, data in shapes.items()
+            },
+        }
+    )

@@ -47,6 +47,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--repeats", type=int, default=1)
     run_parser.add_argument("--partitions", type=int, default=1,
                             help="parallel data-generator partitions")
+    run_parser.add_argument("--chunk-size", type=int, default=None,
+                            help="stream the data set as record batches "
+                                 "of this size (bounded memory); default "
+                                 "is the REPRO_CHUNK_SIZE environment "
+                                 "variable, else fully materialized")
     run_parser.add_argument("--executor", default="serial",
                             choices=["serial", "thread", "process"],
                             help="fan-out backend for independent runs")
@@ -167,6 +172,11 @@ def _command_run(args, out) -> int:
             Path(args.repository).read_text()
         )
     framework = BigDataBenchmark(repository=repository)
+    # --chunk-size overrides the REPRO_CHUNK_SIZE default; when the flag
+    # is absent the spec's default_factory reads the environment.
+    spec_overrides = {}
+    if args.chunk_size is not None:
+        spec_overrides["chunk_size"] = args.chunk_size
     spec = BenchmarkSpec(
         prescription=args.prescription,
         engines=list(args.engine),
@@ -180,6 +190,7 @@ def _command_run(args, out) -> int:
         retries=args.retries,
         retry_backoff=args.retry_backoff,
         task_timeout=args.task_timeout,
+        **spec_overrides,
     )
     tracing = args.trace or args.trace_out is not None
     tracer = Tracer() if tracing else NULL_TRACER

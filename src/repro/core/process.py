@@ -126,19 +126,27 @@ class BenchmarkingProcess:
                 requirement = replace(
                     requirement, num_partitions=spec.data_partitions
                 )
-            dataset: DataSet = self.test_generator.select_data(
-                requirement, spec.volume
+            dataset = self.test_generator.select_data(
+                requirement, spec.volume, chunk_size=spec.chunk_size
             )
+        generation_detail: dict[str, Any] = {
+            "generator": requirement.generator,
+            "records": dataset.num_records,
+            "partitions": spec.data_partitions,
+        }
+        if isinstance(dataset, DataSet):
+            generation_detail["bytes"] = dataset.estimated_bytes()
+        else:
+            # A streaming source: nothing has been generated yet, and
+            # sizing it would consume a full pass — record the shape
+            # instead of the bytes.
+            generation_detail["streamed"] = True
+            generation_detail["chunk_size"] = spec.chunk_size
         report.steps.append(
             StepReport(
                 "data-generation",
                 time.perf_counter() - started,
-                {
-                    "generator": requirement.generator,
-                    "records": dataset.num_records,
-                    "bytes": dataset.estimated_bytes(),
-                    "partitions": spec.data_partitions,
-                },
+                generation_detail,
             )
         )
 
@@ -200,6 +208,7 @@ class BenchmarkingProcess:
                 data_partitions=(
                     spec.data_partitions if spec.data_partitions > 1 else None
                 ),
+                chunk_size=spec.chunk_size,
             )
             for engine_name in engine_names
         ]

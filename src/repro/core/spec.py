@@ -16,6 +16,25 @@ from repro.core.errors import SpecError
 from repro.core.prescription import PrescriptionRepository
 
 
+def _env_chunk_size() -> int | None:
+    """Default chunk size from ``REPRO_CHUNK_SIZE`` (unset/empty = None).
+
+    Mirrors the ``REPRO_EXECUTOR`` pattern: the environment sets a
+    session-wide default, an explicit spec field still wins.  A non-int
+    value is rejected here so the failure happens at spec construction,
+    not mid-run.
+    """
+    raw = os.environ.get("REPRO_CHUNK_SIZE", "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise SpecError(
+            f"REPRO_CHUNK_SIZE must be an integer, got {raw!r}"
+        ) from None
+
+
 @dataclass
 class BenchmarkSpec:
     """A user's benchmarking requirements."""
@@ -28,6 +47,12 @@ class BenchmarkSpec:
     volume: int | None = None
     #: Parallel generator partitions (data velocity, mechanism 1).
     data_partitions: int = 1
+    #: Record-batch size for the streaming data path.  When set, data
+    #: flows from the generator to the workload as RecordBatch chunks of
+    #: this many records (bounded memory); None keeps the historical
+    #: materialize-then-run path.  ``REPRO_CHUNK_SIZE`` supplies the
+    #: default, like ``REPRO_EXECUTOR`` does for ``executor``.
+    chunk_size: int | None = field(default_factory=_env_chunk_size)
     #: Metric names to report; empty means the prescription's defaults.
     metric_names: list[str] = field(default_factory=list)
     repeats: int = 1
@@ -64,6 +89,10 @@ class BenchmarkSpec:
         if self.data_partitions <= 0:
             raise SpecError(
                 f"data_partitions must be positive, got {self.data_partitions}"
+            )
+        if self.chunk_size is not None and self.chunk_size <= 0:
+            raise SpecError(
+                f"chunk_size must be positive, got {self.chunk_size}"
             )
         if self.repeats <= 0:
             raise SpecError(f"repeats must be positive, got {self.repeats}")

@@ -33,6 +33,7 @@ from repro.core.prescription import (
 )
 from repro.datagen.base import DataGenerator, DataSet
 from repro.datagen.cache import DatasetCache
+from repro.datagen.source import DatasetSource, GeneratorSource
 from repro.engines.base import Engine
 from repro.observability import trace_span
 
@@ -48,7 +49,10 @@ class PrescribedTest:
     prescription: Prescription
     engine: Engine
     workload: Any  # repro.workloads.base.Workload (kept loose to avoid cycle)
-    dataset: DataSet
+    #: Materialized records, or a lazily streaming source when the test
+    #: was generated with a chunk size (the workload dispatcher handles
+    #: both shapes identically).
+    dataset: DataSet | DatasetSource
 
     @property
     def name(self) -> str:
@@ -96,12 +100,19 @@ class TestGenerator:
         requirement: DataRequirement,
         volume_override: int | None = None,
         partitions_override: int | None = None,
-    ) -> DataSet:
+        chunk_size: int | None = None,
+    ) -> DataSet | DatasetSource:
         """Instantiate, fit, and run the generator a prescription names.
 
         Identical requests are served from :attr:`dataset_cache` (when
         enabled); generation is deterministic, so the cached data set is
         record-for-record what a fresh generation would produce.
+
+        With ``chunk_size`` set, the returned value is a lazily streaming
+        :class:`~repro.datagen.source.GeneratorSource` instead of a
+        materialized data set — nothing is generated until a consumer
+        pulls batches, and the cache is bypassed (there is no record
+        list to hold).  Determinism makes both shapes interchangeable.
         """
         generator: DataGenerator = self.generators.create(requirement.generator)
         if generator.data_type is not requirement.data_type:
@@ -122,6 +133,14 @@ class TestGenerator:
             volume=volume,
             partitions=num_partitions,
         ):
+            if chunk_size is not None:
+                self._fit(generator, requirement)
+                return GeneratorSource(
+                    generator,
+                    volume,
+                    chunk_size=chunk_size,
+                    num_partitions=num_partitions,
+                )
             if self.dataset_cache is None:
                 return self._generate_data(
                     generator, requirement, volume, num_partitions
@@ -140,6 +159,12 @@ class TestGenerator:
                 ),
             )
 
+    def _fit(self, generator: DataGenerator, requirement: DataRequirement) -> None:
+        """Fit a veracity-aware generator on its prescribed seed data."""
+        if requirement.fit_on is not None:
+            with trace_span("fit", source=requirement.fit_on):
+                generator.fit(load_seed(requirement.fit_on))
+
     def _generate_data(
         self,
         generator: DataGenerator,
@@ -148,9 +173,7 @@ class TestGenerator:
         num_partitions: int,
     ) -> DataSet:
         """The uncached generation path (fit, then generate)."""
-        if requirement.fit_on is not None:
-            with trace_span("fit", source=requirement.fit_on):
-                generator.fit(load_seed(requirement.fit_on))
+        self._fit(generator, requirement)
         with trace_span(
             "generate", volume=volume, partitions=num_partitions
         ) as span:
@@ -206,6 +229,7 @@ class TestGenerator:
         engine_name: str,
         volume_override: int | None = None,
         partitions_override: int | None = None,
+        chunk_size: int | None = None,
     ) -> PrescribedTest:
         """Produce a prescribed test for one engine (Figure 4, step 5)."""
         if isinstance(prescription, str):
@@ -218,7 +242,7 @@ class TestGenerator:
             )
         engine: Engine = self.engines.create(engine_name)
         dataset = self.select_data(
-            prescription.data, volume_override, partitions_override
+            prescription.data, volume_override, partitions_override, chunk_size
         )
         return PrescribedTest(
             prescription=prescription,

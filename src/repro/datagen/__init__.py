@@ -7,15 +7,23 @@ veracity metrics, and format conversion.
 """
 
 from repro.datagen.base import (
+    DEFAULT_CHUNK_SIZE,
     DataGenerator,
     DataSet,
     DataType,
+    RecordBatch,
     StructureClass,
     as_dataset,
     mix_seed,
 )
 from repro.datagen.cache import CacheStats, DatasetCache
-from repro.datagen.formats import available_formats, convert
+from repro.datagen.formats import available_formats, convert, convert_batches
+from repro.datagen.source import (
+    DatasetSource,
+    GeneratorSource,
+    as_source,
+    ensure_dataset,
+)
 from repro.datagen.graph import (
     ErdosRenyiGenerator,
     PreferentialAttachmentGenerator,
@@ -80,16 +88,19 @@ __all__ = [
     "BurstyArrivals",
     "CacheStats",
     "Categorical",
+    "DEFAULT_CHUNK_SIZE",
     "DataGenerator",
     "DataSet",
     "DataType",
     "DatasetCache",
+    "DatasetSource",
     "EmpiricalArrivals",
     "ErdosRenyiGenerator",
     "EventKind",
     "FittedTableGenerator",
     "ForeignKey",
     "Gaussian",
+    "GeneratorSource",
     "LdaModel",
     "LdaTextGenerator",
     "PacedStream",
@@ -97,6 +108,7 @@ __all__ = [
     "PoissonArrivals",
     "PreferentialAttachmentGenerator",
     "RandomTextGenerator",
+    "RecordBatch",
     "ResumeGenerator",
     "ReviewGenerator",
     "RmatGraphGenerator",
@@ -118,10 +130,13 @@ __all__ = [
     "WebLogGenerator",
     "Zipf",
     "as_dataset",
+    "as_source",
     "available_formats",
     "cluster_cohesion",
     "convert",
+    "convert_batches",
     "chi_square_statistic",
+    "ensure_dataset",
     "graph_veracity",
     "image_features",
     "jensen_shannon_divergence",

@@ -11,14 +11,20 @@ that generation can be parallelised (step 3, velocity).  Format conversion
 from __future__ import annotations
 
 import enum
-from abc import ABC, abstractmethod
-from collections.abc import Sequence
+from abc import ABC
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
 
 from repro.core.errors import GenerationError, ModelNotFittedError
+from repro.observability import current_tracer
+
+#: Default records per batch on the chunked data path.  Chosen so a batch
+#: of typical records stays in the megabyte range: small enough to bound
+#: memory, large enough to amortise per-batch overhead.
+DEFAULT_CHUNK_SIZE = 1024
 
 
 class StructureClass(enum.Enum):
@@ -45,6 +51,42 @@ class DataType(enum.Enum):
     def __init__(self, label: str, structure: StructureClass) -> None:
         self.label = label
         self.structure = structure
+
+
+@dataclass
+class RecordBatch:
+    """A typed, sized slice of a record stream (the chunked-path unit).
+
+    The data path moves ``RecordBatch`` objects, not whole record lists:
+    a generator yields them one at a time, format converters transform
+    them chunk by chunk, and engines ingest them incrementally — so peak
+    memory is bounded by the batch size, not the data volume.
+
+    ``index`` is the zero-based position of the batch in its stream and
+    ``offset`` the global index of its first record, so consumers can
+    reconstruct global record positions without counting.
+    """
+
+    records: list[Any]
+    data_type: DataType
+    index: int = 0
+    offset: int = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.records)
+
+    def estimated_bytes(self) -> int:
+        """A cheap, deterministic estimate of the batch's serialized size."""
+        return sum(_record_size(record) for record in self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RecordBatch(index={self.index}, offset={self.offset}, "
+            f"records={len(self.records)}, type={self.data_type.label})"
+        )
 
 
 @dataclass
@@ -84,6 +126,31 @@ class DataSet:
     def head(self, count: int = 5) -> list[Any]:
         """The first ``count`` records, for inspection and reporting."""
         return self.records[:count]
+
+    # ------------------------------------------------------------------
+    # DatasetSource protocol — a DataSet is the materialized source, so
+    # every call site that accepts a source keeps working with the
+    # historical fully-materialized lists.
+    # ------------------------------------------------------------------
+
+    def batches(self, chunk_size: int | None = None) -> Iterator[RecordBatch]:
+        """The records re-sliced as :class:`RecordBatch` chunks."""
+        chunk_size = DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size
+        if chunk_size <= 0:
+            raise GenerationError(
+                f"chunk_size must be positive, got {chunk_size}"
+            )
+        for index, offset in enumerate(range(0, len(self.records), chunk_size)):
+            yield RecordBatch(
+                records=self.records[offset : offset + chunk_size],
+                data_type=self.data_type,
+                index=index,
+                offset=offset,
+            )
+
+    def materialize(self) -> "DataSet":
+        """A DataSet is already materialized; returns itself."""
+        return self
 
     def __len__(self) -> int:
         return len(self.records)
@@ -129,10 +196,19 @@ def mix_seed(seed: int, *streams: int) -> int:
 class DataGenerator(ABC):
     """Base class for all synthetic data generators (Figure 3).
 
-    Sub-classes must implement :meth:`generate_partition`; the default
-    :meth:`generate` produces a single partition covering the full volume.
-    Generators that preserve veracity additionally implement :meth:`fit`
-    and must be fitted before generating.
+    Sub-classes implement either :meth:`generate_partition` (materialized:
+    the records of one partition as a list) or :meth:`iter_partition`
+    (streamed: the same records, yielded one at a time) — each default
+    implementation is defined in terms of the other, so one suffices.
+    Streaming overrides must consume their random generator in the same
+    order as the materialized loop would, which keeps the two paths
+    bit-identical: ``generate(v)`` and the concatenation of
+    ``iter_batches(v, chunk_size)`` produce the same records for the same
+    seed, at every chunk size.
+
+    The default :meth:`generate` produces a single partition covering the
+    full volume.  Generators that preserve veracity additionally implement
+    :meth:`fit` and must be fitted before generating.
     """
 
     #: The data type this generator produces.
@@ -167,7 +243,6 @@ class DataGenerator(ABC):
                 "call fit(real_data) first"
             )
 
-    @abstractmethod
     def generate_partition(
         self, volume: int, partition: int, num_partitions: int
     ) -> list[Any]:
@@ -176,7 +251,95 @@ class DataGenerator(ABC):
         ``volume`` is the *total* requested volume (the generator divides it
         among partitions); the unit is type-specific — documents for text,
         rows for tables, vertices for graphs, events for streams.
+
+        The default materializes :meth:`iter_partition`; generators whose
+        sampling is vectorised over the whole partition override this
+        method instead.
         """
+        return list(self.iter_partition(volume, partition, num_partitions))
+
+    def iter_partition(
+        self, volume: int, partition: int, num_partitions: int
+    ) -> Iterator[Any]:
+        """Yield the records of one partition, one at a time.
+
+        Streaming generators override this; the default falls back to the
+        subclass's materialized :meth:`generate_partition` (bit-identical,
+        but peak memory is one partition instead of one record).
+        """
+        if type(self).generate_partition is DataGenerator.generate_partition:
+            raise GenerationError(
+                f"{self.name} implements neither generate_partition nor "
+                "iter_partition"
+            )
+        yield from self.generate_partition(volume, partition, num_partitions)
+
+    @property
+    def streams_records(self) -> bool:
+        """Whether this generator yields records without materializing.
+
+        True when :meth:`iter_partition` is overridden — the generator's
+        peak memory is then one record (plus the consumer's chunk), not
+        one partition.
+        """
+        return type(self).iter_partition is not DataGenerator.iter_partition
+
+    def iter_batches(
+        self,
+        volume: int,
+        chunk_size: int | None = None,
+        num_partitions: int = 1,
+    ) -> Iterator[RecordBatch]:
+        """Stream a ``volume``-sized generation as :class:`RecordBatch` chunks.
+
+        The concatenated batches are bit-identical to :meth:`generate`
+        (or :meth:`generate_parallel` when ``num_partitions > 1``) at the
+        same seed, for every chunk size — chunking is re-slicing, not
+        re-sampling.  Batches cross partition boundaries so every batch
+        except the last holds exactly ``chunk_size`` records.
+
+        When tracing is active, each batch bumps the ``batches`` counter
+        and the running ``peak_batch_bytes`` maximum on the current span,
+        so the bounded-memory claim is observable in span trees.
+        """
+        self._require_fitted()
+        if volume < 0:
+            raise GenerationError(f"volume must be non-negative, got {volume}")
+        chunk_size = DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size
+        if chunk_size <= 0:
+            raise GenerationError(
+                f"chunk_size must be positive, got {chunk_size}"
+            )
+        if num_partitions <= 0:
+            raise GenerationError(
+                f"num_partitions must be positive, got {num_partitions}"
+            )
+        tracer = current_tracer()
+        index = 0
+        offset = 0
+        buffer: list[Any] = []
+        for partition in range(num_partitions):
+            for record in self.iter_partition(volume, partition, num_partitions):
+                buffer.append(record)
+                if len(buffer) == chunk_size:
+                    batch = RecordBatch(
+                        records=buffer, data_type=self.data_type,
+                        index=index, offset=offset,
+                    )
+                    tracer.count("batches")
+                    tracer.count_max("peak_batch_bytes", batch.estimated_bytes())
+                    yield batch
+                    offset += len(buffer)
+                    index += 1
+                    buffer = []
+        if buffer:
+            batch = RecordBatch(
+                records=buffer, data_type=self.data_type,
+                index=index, offset=offset,
+            )
+            tracer.count("batches")
+            tracer.count_max("peak_batch_bytes", batch.estimated_bytes())
+            yield batch
 
     def generate(self, volume: int, name: str | None = None) -> DataSet:
         """Generate a complete synthetic data set of the requested volume."""

@@ -37,15 +37,17 @@ class KeyValueGenerator(PurelySyntheticMixin, DataGenerator):
         self.field_length = field_length
         self.key_prefix = key_prefix
 
-    def generate_partition(
+    def iter_partition(
         self, volume: int, partition: int, num_partitions: int
-    ) -> list[tuple[str, dict[str, Any]]]:
+    ):
+        # Streamed record-by-record: the RNG is consumed in the same
+        # order as the materialized loop, so chunked and materialized
+        # generation are bit-identical.
         count = self.partition_volume(volume, partition, num_partitions)
         start = sum(
             self.partition_volume(volume, p, num_partitions) for p in range(partition)
         )
         rng = self.rng_for_partition(partition, num_partitions)
-        records: list[tuple[str, dict[str, Any]]] = []
         for offset in range(count):
             key = f"{self.key_prefix}{start + offset:012d}"
             fields = {}
@@ -54,5 +56,4 @@ class KeyValueGenerator(PurelySyntheticMixin, DataGenerator):
                 fields[f"field{field_index}"] = "".join(
                     chr(97 + int(letter)) for letter in letters
                 )
-            records.append((key, fields))
-        return records
+            yield (key, fields)

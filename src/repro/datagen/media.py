@@ -87,12 +87,11 @@ class SyntheticImageGenerator(PurelySyntheticMixin, DataGenerator):
         self.size = size
         self.noise = noise
 
-    def generate_partition(
+    def iter_partition(
         self, volume: int, partition: int, num_partitions: int
-    ) -> list[tuple[np.ndarray, int]]:
+    ):
         count = self.partition_volume(volume, partition, num_partitions)
         rng = self.rng_for_partition(partition, num_partitions)
-        records: list[tuple[np.ndarray, int]] = []
         for _ in range(count):
             label = int(rng.integers(len(TEXTURE_CLASSES)))
             builder = _TEXTURE_BUILDERS[TEXTURE_CLASSES[label]]
@@ -100,8 +99,7 @@ class SyntheticImageGenerator(PurelySyntheticMixin, DataGenerator):
             if self.noise > 0:
                 image = image + rng.normal(0.0, self.noise, image.shape)
             image = np.clip(image, 0.0, 1.0).astype(np.float32)
-            records.append((image, label))
-        return records
+            yield (image, label)
 
     def _wrap(self, records: list, name: str | None) -> DataSet:
         dataset = super()._wrap(records, name)

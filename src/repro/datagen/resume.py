@@ -96,46 +96,44 @@ class ResumeGenerator(DataGenerator):
             skills.add(pool[int(rng.integers(len(pool)))])
         return sorted(skills)
 
-    def generate_partition(
+    def iter_partition(
         self, volume: int, partition: int, num_partitions: int
-    ) -> list[dict[str, Any]]:
+    ):
         count = self.partition_volume(volume, partition, num_partitions)
         if count == 0:
-            return []
+            return
         rng = self.rng_for_partition(partition, num_partitions)
         start = sum(
             self.partition_volume(volume, p, num_partitions)
             for p in range(partition)
         )
-        summaries: list[str] | None = None
+        # Summaries stream from the text model's own partition iterator,
+        # so a streaming text generator keeps this generator streaming.
+        summaries = None
         if self.text_generator is not None:
-            summaries = self.text_generator.generate_partition(
+            summaries = self.text_generator.iter_partition(
                 volume, partition, num_partitions
             )
-        resumes: list[dict[str, Any]] = []
         for offset in range(count):
             person_id = start + offset
             skills = self._sample_skills(rng)
             if summaries is not None:
-                summary = summaries[offset]
+                summary = next(summaries)
             else:
                 summary = (
                     f"experienced in {', '.join(skills[:3])} and related work"
                 )
-            resumes.append(
-                {
-                    "person_id": person_id,
-                    "name": f"{FIRST_NAMES[person_id % len(FIRST_NAMES)]}"
-                            f"_{person_id}",
-                    "education": EDUCATION_LEVELS[
-                        int(rng.choice(3, p=[0.5, 0.35, 0.15]))
-                    ],
-                    "experience_years": int(rng.integers(0, 25)),
-                    "skills": skills,
-                    "summary": summary,
-                }
-            )
-        return resumes
+            yield {
+                "person_id": person_id,
+                "name": f"{FIRST_NAMES[person_id % len(FIRST_NAMES)]}"
+                        f"_{person_id}",
+                "education": EDUCATION_LEVELS[
+                    int(rng.choice(3, p=[0.5, 0.35, 0.15]))
+                ],
+                "experience_years": int(rng.integers(0, 25)),
+                "skills": skills,
+                "summary": summary,
+            }
 
 
 def skill_cooccurrence(

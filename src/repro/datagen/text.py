@@ -248,13 +248,17 @@ class LdaTextGenerator(DataGenerator):
         self._fitted = True
         return self
 
-    def generate_partition(
+    def iter_partition(
         self, volume: int, partition: int, num_partitions: int
-    ) -> list[str]:
+    ):
+        # Streamed: one sampled document at a time, same RNG consumption
+        # order as the materialized list — bit-identical at every chunk
+        # size.
         self._require_fitted()
         count = self.partition_volume(volume, partition, num_partitions)
         rng = self.rng_for_partition(partition, num_partitions)
-        return [" ".join(self.model.sample_document(rng)) for _ in range(count)]
+        for _ in range(count):
+            yield " ".join(self.model.sample_document(rng))
 
 
 class UnigramTextGenerator(DataGenerator):
@@ -286,18 +290,16 @@ class UnigramTextGenerator(DataGenerator):
         self._fitted = True
         return self
 
-    def generate_partition(
+    def iter_partition(
         self, volume: int, partition: int, num_partitions: int
-    ) -> list[str]:
+    ):
         self._require_fitted()
         count = self.partition_volume(volume, partition, num_partitions)
         rng = self.rng_for_partition(partition, num_partitions)
-        documents = []
         for _ in range(count):
             length = self.document_length or max(1, int(rng.poisson(self._mean_length)))
             indexes = rng.choice(len(self._words), size=length, p=self._probabilities)
-            documents.append(" ".join(self._words[int(i)] for i in indexes))
-        return documents
+            yield " ".join(self._words[int(i)] for i in indexes)
 
 
 class RandomTextGenerator(PurelySyntheticMixin, DataGenerator):
@@ -330,16 +332,14 @@ class RandomTextGenerator(PurelySyntheticMixin, DataGenerator):
             )
         self.document_length = document_length
 
-    def generate_partition(
+    def iter_partition(
         self, volume: int, partition: int, num_partitions: int
-    ) -> list[str]:
+    ):
         count = self.partition_volume(volume, partition, num_partitions)
         rng = self.rng_for_partition(partition, num_partitions)
-        documents = []
         for _ in range(count):
             indexes = rng.integers(len(self.words), size=self.document_length)
-            documents.append(" ".join(self.words[int(i)] for i in indexes))
-        return documents
+            yield " ".join(self.words[int(i)] for i in indexes)
 
 
 def word_distribution(documents: Iterable[str]) -> dict[str, float]:

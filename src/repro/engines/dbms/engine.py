@@ -89,8 +89,13 @@ class DbmsEngine(Engine):
         self.counters.records_written += count
         return count
 
-    def load_dataset(self, dataset: DataSet, table: str | None = None) -> str:
-        """Create a table from a TABLE data set and load its rows."""
+    def load_dataset(self, dataset: Any, table: str | None = None) -> str:
+        """Create a table from a TABLE data set and load its rows.
+
+        Accepts a materialized :class:`DataSet` or any dataset source;
+        a streaming source is ingested batch by batch, so the engine
+        never sees the whole record list at once.
+        """
         if dataset.data_type is not DataType.TABLE:
             raise EngineError(
                 f"can only load TABLE data sets, got {dataset.data_type.label}"
@@ -100,7 +105,11 @@ class DbmsEngine(Engine):
             raise EngineError(f"data set {dataset.name!r} has no schema metadata")
         name = table or dataset.name.replace("-", "_")
         self.create_table(name, tuple(schema))
-        self.insert(name, dataset.records)
+        if isinstance(dataset, DataSet):
+            self.insert(name, dataset.records)
+        else:
+            for batch in dataset.batches():
+                self.insert(name, batch.records)
         return name
 
     def update(

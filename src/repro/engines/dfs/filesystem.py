@@ -13,6 +13,7 @@ accounting*, which is what a file-system micro benchmark measures.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.core.errors import EngineError
@@ -142,34 +143,62 @@ class DistributedFileSystem(Engine):
     # Namespace operations
     # ------------------------------------------------------------------
 
+    def _write_block(self, entry: FileEntry, block: bytes) -> float:
+        """Place one block on R replicas; returns the simulated seconds."""
+        block_id = self._next_block_id
+        self._next_block_id += 1
+        replicas = self._choose_replica_nodes(len(block))
+        for node in replicas:
+            node.store(block_id, block)
+        self._block_locations[block_id] = [n.node_id for n in replicas]
+        entry.block_ids.append(block_id)
+        # Pipeline write: one disk write plus (R-1) network hops.
+        simulated = self.seek_seconds
+        simulated += len(block) / self.disk_bytes_per_second
+        simulated += (
+            (self.replication - 1) * len(block)
+            / self.network_bytes_per_second
+        )
+        self.counters.network_bytes += (self.replication - 1) * len(block)
+        return simulated
+
     def write_file(self, path: str, data: bytes) -> DfsOpReport:
         """Create (or overwrite) a file, splitting it into blocks."""
+        return self.write_stream(path, (data,))
+
+    def write_stream(self, path: str, chunks: Iterable[bytes]) -> DfsOpReport:
+        """Create (or overwrite) a file from a stream of byte chunks.
+
+        Blocks are cut and placed as the stream arrives, so peak memory
+        is one block plus one chunk — never the whole file.  Chunk
+        boundaries don't affect the stored blocks: the same bytes produce
+        the same block layout whether written whole or chunked.
+        """
         if path in self._namespace:
             self.delete_file(path)
-        entry = FileEntry(path=path, size=len(data))
+        entry = FileEntry(path=path)
         simulated = 0.0
-        for offset in range(0, max(len(data), 1), self.block_size):
-            block = data[offset : offset + self.block_size]
-            block_id = self._next_block_id
-            self._next_block_id += 1
-            replicas = self._choose_replica_nodes(len(block))
-            for node in replicas:
-                node.store(block_id, block)
-            self._block_locations[block_id] = [n.node_id for n in replicas]
-            entry.block_ids.append(block_id)
-            # Pipeline write: one disk write plus (R-1) network hops.
-            simulated += self.seek_seconds
-            simulated += len(block) / self.disk_bytes_per_second
-            simulated += (
-                (self.replication - 1) * len(block)
-                / self.network_bytes_per_second
-            )
-            self.counters.network_bytes += (self.replication - 1) * len(block)
+        total = 0
+        buffer = bytearray()
+        for chunk in chunks:
+            buffer.extend(chunk)
+            while len(buffer) >= self.block_size:
+                block = bytes(buffer[: self.block_size])
+                del buffer[: self.block_size]
+                simulated += self._write_block(entry, block)
+                total += len(block)
+        if buffer or not entry.block_ids:
+            # Flush the remainder; an empty stream still creates one
+            # empty block, matching write_file(path, b"").
+            block = bytes(buffer)
+            simulated += self._write_block(entry, block)
+            total += len(block)
+        entry.size = total
         self._namespace[path] = entry
         self.counters.records_written += 1
-        self.counters.bytes_written += len(data)
+        self.counters.bytes_written += total
         return DfsOpReport(
-            ok=True, simulated_seconds=simulated, bytes_moved=len(data)
+            ok=True, simulated_seconds=simulated, bytes_moved=total
         )
 
     def read_file(self, path: str) -> DfsOpReport:
@@ -198,13 +227,27 @@ class DistributedFileSystem(Engine):
         )
 
     def append(self, path: str, data: bytes) -> DfsOpReport:
-        """Append to an existing file (new blocks only; no partial fill)."""
+        """Append to an existing file (new blocks only; no partial fill).
+
+        Appends blocks directly — the file is never read back or
+        rewritten, so appending costs O(appended), not O(file).  Reads
+        concatenate blocks in order, so content is identical to a full
+        rewrite (the last pre-append block may simply stay short).
+        """
         entry = self._namespace.get(path)
         if entry is None:
             return self.write_file(path, data)
-        existing = self.read_file(path)
-        assert existing.data is not None
-        return self.write_file(path, existing.data + data)
+        simulated = 0.0
+        for offset in range(0, max(len(data), 1), self.block_size):
+            simulated += self._write_block(
+                entry, data[offset : offset + self.block_size]
+            )
+        entry.size += len(data)
+        self.counters.records_written += 1
+        self.counters.bytes_written += len(data)
+        return DfsOpReport(
+            ok=True, simulated_seconds=simulated, bytes_moved=len(data)
+        )
 
     def delete_file(self, path: str) -> DfsOpReport:
         entry = self._namespace.pop(path, None)

@@ -56,6 +56,13 @@ class JobConf:
     sort_keys: bool = True
     #: Secondary sort on values within each key group.
     sort_values: bool = False
+    #: Records per input split.  When set, input splits are cut lazily at
+    #: this size as the input stream arrives (the HDFS-block analogue),
+    #: so the runtime never materializes the input; ``num_map_tasks``
+    #: then only caps executor concurrency, not the split count.  When
+    #: ``None``, sized inputs are divided into ``num_map_tasks`` near-
+    #: equal splits as before.
+    split_records: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_map_tasks <= 0:
@@ -65,6 +72,10 @@ class JobConf:
         if self.num_reduce_tasks <= 0:
             raise EngineError(
                 f"num_reduce_tasks must be positive, got {self.num_reduce_tasks}"
+            )
+        if self.split_records is not None and self.split_records <= 0:
+            raise EngineError(
+                f"split_records must be positive, got {self.split_records}"
             )
 
 

@@ -22,11 +22,11 @@ from __future__ import annotations
 
 import time
 from collections import defaultdict
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro._util import chunked
+from repro._util import batched, chunked
 from repro.core.errors import EngineError
 from repro.engines.base import (
     CostCounters,
@@ -40,6 +40,10 @@ from repro.engines.mapreduce.job import JobChain, MapReduceJob
 from repro.observability import current_tracer
 
 Pair = tuple[Any, Any]
+
+#: Records per lazy input split when the input is an unsized stream and
+#: the job doesn't set :attr:`~repro.engines.mapreduce.job.JobConf.split_records`.
+DEFAULT_SPLIT_RECORDS = 1024
 
 
 @dataclass
@@ -101,8 +105,14 @@ class MapReduceEngine(Engine):
     # Public API
     # ------------------------------------------------------------------
 
-    def run(self, job: MapReduceJob, pairs: Sequence[Pair]) -> JobResult:
+    def run(self, job: MapReduceJob, pairs: Iterable[Pair]) -> JobResult:
         """Execute one job over the input pairs.
+
+        ``pairs`` may be any iterable: a list behaves as before, while a
+        lazy stream (e.g. a flattened
+        :class:`~repro.datagen.source.DatasetSource`) is consumed split
+        by split without ever being materialized — the runtime's input-
+        side memory is then one split, not the whole data set.
 
         Each Hadoop phase records a span (with per-split/per-partition
         record counters) into the current tracer, so a traced run shows
@@ -156,7 +166,7 @@ class MapReduceEngine(Engine):
             cost=cost,
         )
 
-    def run_chain(self, chain: JobChain, pairs: Sequence[Pair]) -> list[JobResult]:
+    def run_chain(self, chain: JobChain, pairs: Iterable[Pair]) -> list[JobResult]:
         """Execute a job pipeline; each job consumes the previous output."""
         results: list[JobResult] = []
         current: Sequence[Pair] = pairs
@@ -170,10 +180,26 @@ class MapReduceEngine(Engine):
     # Phases
     # ------------------------------------------------------------------
 
+    def _input_splits(
+        self, job: MapReduceJob, pairs: Iterable[Pair]
+    ) -> Iterable[Sequence[Pair]]:
+        """Cut the input into map splits, lazily when possible.
+
+        ``split_records`` forces fixed-size lazy splits; otherwise sized
+        inputs keep the historical near-equal division into
+        ``num_map_tasks`` splits, and unsized streams fall back to
+        fixed-size lazy splits so they are never materialized.
+        """
+        if job.conf.split_records is not None:
+            return batched(pairs, job.conf.split_records)
+        if isinstance(pairs, Sequence):
+            return chunked(pairs, job.conf.num_map_tasks)
+        return batched(pairs, DEFAULT_SPLIT_RECORDS)
+
     def _map_phase(
         self,
         job: MapReduceJob,
-        pairs: Sequence[Pair],
+        pairs: Iterable[Pair],
         counters: CounterGroup,
         cost: CostCounters,
     ) -> tuple[list[list[Pair]], list[list[int]], list[int]]:
@@ -184,7 +210,7 @@ class MapReduceEngine(Engine):
         to the serial path.  Byte sizes of the (post-combine) map output
         are estimated here, once per pair, and reused by the shuffle.
         """
-        splits = chunked(list(pairs), job.conf.num_map_tasks)
+        splits = self._input_splits(job, pairs)
         task_results = self.executor.map(
             lambda split: self._run_map_task(job, split), splits
         )

@@ -204,6 +204,26 @@ class NoSqlStore(Engine):
                 bisect.insort(self._sorted_keys, key)
         return self._write(key, fields, consistency, merge=False)
 
+    def bulk_load(
+        self,
+        records: Any,
+        consistency: ConsistencyLevel = ConsistencyLevel.ALL,
+    ) -> int:
+        """Insert a stream of ``(key, fields)`` records; returns the count.
+
+        ``records`` may be any iterable of pairs or a dataset source
+        (anything with ``batches()``); a source is consumed batch by
+        batch, so loading never materializes the full record list.
+        """
+        batches = getattr(records, "batches", None)
+        if batches is not None:
+            records = (record for batch in batches() for record in batch)
+        count = 0
+        for key, fields in records:
+            self.insert(key, fields, consistency)
+            count += 1
+        return count
+
     def read(
         self,
         key: str,

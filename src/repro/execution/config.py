@@ -14,7 +14,12 @@ from typing import Any
 
 from repro.core.errors import ExecutionError
 from repro.datagen.base import DataSet
-from repro.datagen.formats import ConvertedData, convert
+from repro.datagen.formats import (
+    ConvertedData,
+    convert,
+    convert_batches,
+    is_streaming_format,
+)
 from repro.engines.base import Engine, EngineInfo, SimulatedClusterSpec
 
 
@@ -100,11 +105,27 @@ def default_configurations() -> dict[str, SystemConfiguration]:
     }
 
 
-def prepare_input(dataset: DataSet, engine: Engine) -> ConvertedData:
+def prepare_input(dataset: Any, engine: Engine) -> ConvertedData:
     """Convert a data set into the engine's declared input format.
 
     This is the format-conversion step of Section 2.3 — the runner calls
     it before every execution so a test never sees a mismatched format.
+
+    A streaming :class:`~repro.datagen.source.DatasetSource` headed for a
+    streaming format is validated eagerly (format exists, data type
+    matches) but converted lazily: the returned payload is an unconsumed
+    record iterator, so the check never materializes the stream.  Only a
+    non-streaming format (``adjacency-list``) forces materialization.
     """
     info: EngineInfo = engine.info
+    if not isinstance(dataset, DataSet) and is_streaming_format(
+        info.input_format
+    ):
+        chunks = convert_batches(dataset, info.input_format)
+        return ConvertedData(
+            format_name=info.input_format,
+            payload=(record for chunk in chunks for record in chunk),
+            source_name=dataset.name,
+            num_records=dataset.num_records,
+        )
     return convert(dataset, info.input_format)

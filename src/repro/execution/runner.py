@@ -177,6 +177,9 @@ class RunTask:
     configuration: SystemConfiguration | None = None
     #: Parallel data-generator partitions (velocity override).
     data_partitions: int | None = None
+    #: Record-batch size: when set, the data set is bound as a lazily
+    #: streaming source (bounded memory) instead of a materialized list.
+    chunk_size: int | None = None
 
 
 class TestRunner:
@@ -257,6 +260,7 @@ class TestRunner:
         *,
         configuration: SystemConfiguration | None = None,
         data_partitions: int | None = None,
+        chunk_size: int | None = None,
         **overrides: Any,
     ) -> RunResult:
         """Generate and run one prescribed test with repeats.
@@ -264,7 +268,9 @@ class TestRunner:
         The data set is generated once (same data every repeat — and
         served from the dataset cache when an identical deterministic
         request already ran); the engine is rebuilt per repeat for
-        independence.
+        independence.  With ``chunk_size`` set, the test binds a lazily
+        streaming source instead — determinism makes every repeat see
+        the same records either way.
         """
         tracer = current_tracer()
         prescription_name = (
@@ -275,7 +281,11 @@ class TestRunner:
         ):
             with tracer.span("test-generation"):
                 test = self.test_generator.generate(
-                    prescription, engine_name, volume_override, data_partitions
+                    prescription,
+                    engine_name,
+                    volume_override,
+                    data_partitions,
+                    chunk_size,
                 )
             for index in range(self.options.warmup_runs):
                 with tracer.span("warmup", index=index):
@@ -315,6 +325,7 @@ class TestRunner:
             task.volume_override,
             configuration=task.configuration,
             data_partitions=task.data_partitions,
+            chunk_size=task.chunk_size,
             **task.overrides,
         )
 
@@ -640,6 +651,7 @@ class TestRunner:
             "overrides": dict(task.overrides),
             "configuration": configuration,
             "data_partitions": task.data_partitions,
+            "chunk_size": task.chunk_size,
             "suite": suite,
             "options": {
                 "repeats": self.options.repeats,
@@ -698,6 +710,7 @@ def _subprocess_run_task(payload: dict[str, Any]) -> RunOutcome:
         overrides=dict(payload["overrides"]),
         configuration=payload["configuration"],
         data_partitions=payload["data_partitions"],
+        chunk_size=payload.get("chunk_size"),
     )
     policy = payload.get("retry_policy") or runner.options.retry_policy()
     on_error = runner.options.on_error

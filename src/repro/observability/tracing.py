@@ -66,6 +66,17 @@ class Span:
         self.counters[counter] = self.counters.get(counter, 0) + amount
         return self
 
+    def record_max(self, counter: str, value: float) -> "Span":
+        """Keep the running maximum of a gauge-style counter.
+
+        Used for high-water marks (e.g. ``peak_batch_bytes`` on the
+        chunked data path) where summing samples would be meaningless.
+        """
+        current = self.counters.get(counter)
+        if current is None or value > current:
+            self.counters[counter] = value
+        return self
+
     @property
     def self_seconds(self) -> float:
         """Time spent in this span excluding its children."""
@@ -117,6 +128,9 @@ class _NullSpan:
         return self
 
     def incr(self, counter: str, amount: float = 1) -> "_NullSpan":
+        return self
+
+    def record_max(self, counter: str, value: float) -> "_NullSpan":
         return self
 
     def __bool__(self) -> bool:
@@ -207,6 +221,17 @@ class Tracer:
         span = self.current()
         if span is not None:
             span.incr(counter, amount)
+
+    def count_max(self, counter: str, value: float) -> None:
+        """Record a running-maximum gauge on the current span.
+
+        The high-water-mark companion of :meth:`count`: used by the
+        chunked data path for ``peak_batch_bytes``, where the largest
+        observed value is the answer and sums would mislead.
+        """
+        span = self.current()
+        if span is not None:
+            span.record_max(counter, value)
 
     def graft(self, spans: list[Span]) -> None:
         """Adopt finished span trees (worker output) in the given order.
@@ -324,5 +349,11 @@ def summarize_spans(spans: list[Span]) -> dict[str, dict[str, Any]]:
             if span.counters:
                 totals = entry.setdefault("counters", {})
                 for counter, amount in span.counters.items():
-                    totals[counter] = totals.get(counter, 0) + amount
+                    if counter.startswith("peak_"):
+                        # High-water marks (Span.record_max) aggregate by
+                        # maximum: summing peaks across spans would claim
+                        # more memory than any span ever held.
+                        totals[counter] = max(totals.get(counter, 0), amount)
+                    else:
+                        totals[counter] = totals.get(counter, 0) + amount
     return summary

@@ -26,6 +26,7 @@ from repro.core.metrics import RunEvidence
 from repro.core.operations import AbstractOperation
 from repro.core.patterns import WorkloadPattern
 from repro.datagen.base import DataSet, DataType
+from repro.datagen.source import DatasetSource, ensure_dataset
 from repro.engines.base import CostCounters, Engine
 from repro.observability import trace_span
 
@@ -88,6 +89,12 @@ class Workload(ABC):
     category: WorkloadCategory = WorkloadCategory.OFFLINE_ANALYTICS
     #: The data type this workload consumes.
     data_type: DataType = DataType.TEXT
+    #: Whether implementations consume their input incrementally.  When
+    #: True, a streaming :class:`~repro.datagen.source.DatasetSource` is
+    #: handed to ``run_*`` untouched (bounded memory end to end); when
+    #: False, the dispatcher materializes sources first, so workloads
+    #: needing random access keep working with plain record lists.
+    streaming_input: bool = False
     #: Abstract operations (functional view).
     abstract_operations: tuple[AbstractOperation, ...] = ()
     #: The workload pattern combining those operations.
@@ -108,8 +115,20 @@ class Workload(ABC):
     def supports(self, engine_name: str) -> bool:
         return engine_name in self.supported_engines()
 
-    def run(self, engine: Engine, dataset: DataSet, **params: Any) -> WorkloadResult:
-        """Execute this workload on the given engine and data set."""
+    def run(
+        self,
+        engine: Engine,
+        dataset: DataSet | DatasetSource,
+        **params: Any,
+    ) -> WorkloadResult:
+        """Execute this workload on the given engine and data set.
+
+        ``dataset`` may be a materialized :class:`DataSet` or any
+        :class:`~repro.datagen.source.DatasetSource`.  Generation is
+        deterministic, so either shape produces identical results; a
+        streaming source additionally keeps peak memory bounded when the
+        workload declares ``streaming_input``.
+        """
         if dataset.data_type is not self.data_type:
             raise ExecutionError(
                 f"workload {self.name!r} expects {self.data_type.label} data, "
@@ -121,6 +140,10 @@ class Workload(ABC):
                 f"workload {self.name!r} does not support engine "
                 f"{engine.name!r}; supported: {self.supported_engines()}"
             )
+        if not self.streaming_input and not isinstance(dataset, DataSet):
+            # The implementation needs random access; pay for the full
+            # list once, here, instead of surprising it with a stream.
+            dataset = ensure_dataset(dataset)
         with trace_span(
             "workload", workload=self.name, engine=engine.name
         ) as span:

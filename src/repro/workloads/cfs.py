@@ -5,16 +5,26 @@ basic DFS read/write operations.  This workload writes a text data set
 into the simulated DFS as files, reads it back, verifies integrity,
 appends, deletes, and reports per-operation simulated latencies — the
 HDFS micro benchmark (a TestDFSIO analogue) at laptop scale.
+
+Writes stream record by record into :meth:`DistributedFileSystem.write_stream`
+and integrity is verified against an incrementally computed digest, so
+the workload never holds a file payload (let alone the data set) in
+memory — it works identically over a materialized :class:`DataSet` and a
+streaming :class:`~repro.datagen.source.DatasetSource`.
 """
 
 from __future__ import annotations
 
+import hashlib
+import itertools
+from collections.abc import Iterator
 from typing import Any
 
 from repro.core.errors import ExecutionError
 from repro.core.operations import operations
 from repro.core.patterns import MultiOperationPattern
 from repro.datagen.base import DataSet, DataType
+from repro.datagen.source import DatasetSource
 from repro.engines.base import CostCounters
 from repro.engines.dfs import DistributedFileSystem
 from repro.workloads.base import (
@@ -25,6 +35,22 @@ from repro.workloads.base import (
 )
 
 
+def _encoded_lines(
+    documents: Iterator[str], hasher: "hashlib._Hash"
+) -> Iterator[bytes]:
+    """Documents as newline-joined byte chunks, hashing as they pass.
+
+    Yields exactly the bytes ``"\\n".join(documents).encode()`` would
+    produce, one document at a time.
+    """
+    first = True
+    for document in documents:
+        piece = document.encode() if first else b"\n" + document.encode()
+        first = False
+        hasher.update(piece)
+        yield piece
+
+
 class CfsWorkload(Workload):
     """DFS read/write/append/delete micro benchmark."""
 
@@ -32,6 +58,9 @@ class CfsWorkload(Workload):
     domain = ApplicationDomain.MICRO
     category = WorkloadCategory.ONLINE_SERVICE
     data_type = DataType.TEXT
+    #: Files are written as streams and verified by digest — no payload
+    #: is retained, so a streaming source passes through untouched.
+    streaming_input = True
     abstract_operations = tuple(
         operations("write", "read", "update", "delete")
     )
@@ -42,43 +71,52 @@ class CfsWorkload(Workload):
     def run_dfs(
         self,
         engine: DistributedFileSystem,
-        dataset: DataSet,
+        dataset: DataSet | DatasetSource,
         files: int = 8,
         **params: Any,
     ) -> WorkloadResult:
-        if not dataset.records:
+        if dataset.num_records == 0:
             raise ExecutionError("CFS workload needs a non-empty data set")
         if files <= 0:
             raise ExecutionError(f"files must be positive, got {files}")
 
-        # Pack the documents into `files` roughly equal files.
-        per_file = max(1, len(dataset.records) // files)
-        payloads: list[tuple[str, bytes]] = []
-        for index in range(files):
-            chunk = dataset.records[index * per_file : (index + 1) * per_file]
-            if not chunk:
-                break
-            payloads.append(
-                (f"/bench/part-{index:05d}", "\n".join(chunk).encode())
-            )
+        # Pack the documents into `files` roughly equal files, streaming:
+        # each file's bytes flow straight into the DFS while a digest is
+        # computed on the way past.
+        per_file = max(1, dataset.num_records // files)
+        records = iter(dataset)
+        file_meta: list[tuple[str, str, int]] = []  # (path, digest, size)
 
         latencies: dict[str, list[float]] = {
             "write": [], "read": [], "append": [], "delete": [],
         }
         bytes_total = 0
-        for path, payload in payloads:
-            report = engine.write_file(path, payload)
+        for index in range(files):
+            chunk = itertools.islice(records, per_file)
+            probe = next(chunk, None)
+            if probe is None:
+                break
+            path = f"/bench/part-{index:05d}"
+            hasher = hashlib.sha256()
+            report = engine.write_stream(
+                path, _encoded_lines(itertools.chain([probe], chunk), hasher)
+            )
             latencies["write"].append(report.simulated_seconds)
-            bytes_total += len(payload)
-        for path, payload in payloads:
+            file_meta.append((path, hasher.hexdigest(), report.bytes_moved))
+            bytes_total += report.bytes_moved
+        for path, digest, size in file_meta:
             report = engine.read_file(path)
             latencies["read"].append(report.simulated_seconds)
-            if report.data != payload:
+            if (
+                report.data is None
+                or len(report.data) != size
+                or hashlib.sha256(report.data).hexdigest() != digest
+            ):
                 raise ExecutionError(f"DFS read-back mismatch for {path!r}")
-        for path, _ in payloads[: max(1, len(payloads) // 2)]:
+        for path, _, _ in file_meta[: max(1, len(file_meta) // 2)]:
             report = engine.append(path, b"\nappended-line")
             latencies["append"].append(report.simulated_seconds)
-        for path, _ in payloads:
+        for path, _, _ in file_meta:
             report = engine.delete_file(path)
             latencies["delete"].append(report.simulated_seconds)
 
@@ -90,7 +128,7 @@ class CfsWorkload(Workload):
             workload=self.name,
             engine=engine.name,
             output={
-                "files": len(payloads),
+                "files": len(file_meta),
                 "bytes": bytes_total,
                 "mean_latency_by_op": {
                     op: (sum(samples) / len(samples) if samples else 0.0)
@@ -98,7 +136,7 @@ class CfsWorkload(Workload):
                 },
             },
             records_in=dataset.num_records,
-            records_out=len(payloads),
+            records_out=len(file_meta),
             duration_seconds=0.0,  # filled by the dispatcher
             cost=CostCounters().merge(engine.counters),
             latencies=all_latencies,

@@ -9,11 +9,13 @@ range partitioner that makes multi-reducer output globally ordered.
 from __future__ import annotations
 
 import re
+from collections.abc import Iterable
 from typing import Any
 
 from repro.core.operations import operations
 from repro.core.patterns import MultiOperationPattern, SingleOperationPattern
 from repro.datagen.base import DataSet, DataType
+from repro.datagen.source import DatasetSource
 from repro.engines.mapreduce import JobConf, MapReduceEngine, MapReduceJob
 from repro.engines.mapreduce.runtime import JobResult
 from repro.workloads.base import (
@@ -24,9 +26,18 @@ from repro.workloads.base import (
 )
 
 
-def _text_pairs(dataset: DataSet) -> list[tuple[int, str]]:
-    """Documents as (line_number, line) pairs, the MR text input format."""
-    return list(enumerate(dataset.records))
+def _text_pairs(
+    dataset: DataSet | DatasetSource,
+) -> Iterable[tuple[int, str]]:
+    """Documents as (line_number, line) pairs, the MR text input format.
+
+    A materialized data set yields the historical list; a streaming
+    source yields a lazy enumeration so the pairs are never all in
+    memory at once (the MapReduce runtime cuts splits as they arrive).
+    """
+    if isinstance(dataset, DataSet):
+        return list(enumerate(dataset.records))
+    return enumerate(iter(dataset))
 
 
 def _result_from_jobs(
@@ -146,6 +157,8 @@ class WordCountWorkload(Workload):
     domain = ApplicationDomain.MICRO
     category = WorkloadCategory.OFFLINE_ANALYTICS
     data_type = DataType.TEXT
+    #: Counting is split-invariant, so the input can stream through.
+    streaming_input = True
     abstract_operations = tuple(operations("transform", "aggregate"))
     pattern = MultiOperationPattern(operations("transform", "aggregate"))
 
@@ -183,6 +196,8 @@ class GrepWorkload(Workload):
     domain = ApplicationDomain.MICRO
     category = WorkloadCategory.OFFLINE_ANALYTICS
     data_type = DataType.TEXT
+    #: Line matching is record-local, so the input can stream through.
+    streaming_input = True
     abstract_operations = tuple(operations("grep"))
     pattern = SingleOperationPattern(operations("grep")[0])
 

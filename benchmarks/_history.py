@@ -1,0 +1,50 @@
+"""Shared perf-trajectory recording for the ``BENCH_*.json`` files.
+
+Every benchmark module used to carry its own copy of the append-a-row
+helper with ad-hoc ``cpus``/``python``/``timestamp`` fields.  This
+module is the one copy, and it emits rows in the run store's record
+schema (:mod:`repro.analysis.store`): a ``fingerprint`` of what was
+measured, a ``series`` hash grouping comparable rows, the shared
+``environment`` fingerprint, and a ``measurements`` payload.  The
+file stays a human-readable JSON array (the historical format), so
+existing trajectories keep accumulating in place.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.store import environment_fingerprint, fingerprint_hash
+
+
+def append_history(
+    path: Path,
+    benchmark: str,
+    fingerprint: dict[str, Any],
+    measurements: dict[str, Any],
+) -> dict[str, Any]:
+    """Append one trajectory row to ``path`` and return it.
+
+    ``fingerprint`` identifies what was measured (prescription, volume,
+    chunk sizes, ...); rows with an identical fingerprint share a
+    ``series`` key, exactly as run-store records with an identical spec
+    fingerprint do.  ``measurements`` holds the numbers themselves.
+    """
+    history: list[dict[str, Any]] = []
+    if path.exists():
+        history = json.loads(path.read_text())
+    full_fingerprint = {"benchmark": benchmark, **fingerprint}
+    row = {
+        "record_id": f"b{len(history) + 1:04d}",
+        "series": fingerprint_hash(full_fingerprint),
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "fingerprint": full_fingerprint,
+        "environment": environment_fingerprint(),
+        "measurements": measurements,
+    }
+    history.append(row)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+    return row

@@ -13,21 +13,20 @@ The contract asserted here is the pipeline's core claim: the chunked
 pass touches every record the materialized pass produces (same count,
 same digest) while its peak RSS stays essentially flat as volume grows.
 
-Each run appends a JSON row to ``BENCH_datagen_pipeline.json`` so the
-throughput and memory numbers accumulate into a perf trajectory across
-revisions.
+Each run appends a run-store-schema row (see ``_history``) to
+``BENCH_datagen_pipeline.json`` so the throughput and memory numbers
+accumulate into a perf trajectory across revisions.
 """
 
 from __future__ import annotations
 
 import json
 import os
-import platform
 import subprocess
 import sys
-import time
 from pathlib import Path
 
+from _history import append_history
 from conftest import print_banner
 
 from repro.execution.report import ascii_table
@@ -94,14 +93,6 @@ def _run_shape(tmp_path: Path, mode: str, chunk_size: int = 0) -> dict:
     return json.loads(completed.stdout.strip().splitlines()[-1])
 
 
-def _append_trajectory_row(row: dict) -> None:
-    history = []
-    if RESULTS_FILE.exists():
-        history = json.loads(RESULTS_FILE.read_text())
-    history.append(row)
-    RESULTS_FILE.write_text(json.dumps(history, indent=2) + "\n")
-
-
 def test_chunked_vs_materialized_pipeline(benchmark, tmp_path):
     def drive():
         shapes = {"materialized": _run_shape(tmp_path, "materialized")}
@@ -144,14 +135,15 @@ def test_chunked_vs_materialized_pipeline(benchmark, tmp_path):
             chunk_size
         )
 
-    _append_trajectory_row(
+    append_history(
+        RESULTS_FILE,
+        "datagen_pipeline.chunked_vs_materialized",
         {
-            "benchmark": "datagen_pipeline.chunked_vs_materialized",
             "generator": GENERATOR,
             "volume": VOLUME,
-            "cpus": os.cpu_count(),
-            "python": platform.python_version(),
-            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "chunk_sizes": list(CHUNK_SIZES),
+        },
+        {
             "shapes": {
                 shape: {
                     "seconds": data["seconds"],
@@ -160,5 +152,5 @@ def test_chunked_vs_materialized_pipeline(benchmark, tmp_path):
                 }
                 for shape, data in shapes.items()
             },
-        }
+        },
     )

@@ -10,22 +10,21 @@ each executor backend and verifies the layer's two contracts:
 2. **no redundant generation** — the dataset cache serves one generated
    data set to all three engines (1 miss, N−1 hits).
 
-Each run appends a JSON row to ``BENCH_parallel_execution.json`` so the
-serial/thread/process timings accumulate into a perf trajectory across
-revisions.  On multi-core hosts the pooled backends overlap independent
-engine runs; on a single core they can only tie serial, so the timing
-columns are recorded, not asserted.
+Each run appends a run-store-schema row (see ``_history``) to
+``BENCH_parallel_execution.json`` so the serial/thread/process timings
+accumulate into a perf trajectory across revisions.  On multi-core
+hosts the pooled backends overlap independent engine runs; on a single
+core they can only tie serial, so the timing columns are recorded, not
+asserted.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import platform
 import time
 from pathlib import Path
 
 import pytest
+from _history import append_history
 from conftest import print_banner
 
 from repro.execution.harness import BenchmarkHarness
@@ -71,14 +70,6 @@ def _timed_compare(backend: str):
     return elapsed, analyzer.results, cache_stats
 
 
-def _append_trajectory_row(row: dict) -> None:
-    history = []
-    if RESULTS_FILE.exists():
-        history = json.loads(RESULTS_FILE.read_text())
-    history.append(row)
-    RESULTS_FILE.write_text(json.dumps(history, indent=2) + "\n")
-
-
 def test_executor_backends_cross_engine(benchmark):
     def drive():
         measurements = {}
@@ -122,15 +113,15 @@ def test_executor_backends_cross_engine(benchmark):
         assert measurements[backend]["cache"]["misses"] == 1
         assert measurements[backend]["cache"]["hits"] == len(ENGINES) - 1
 
-    _append_trajectory_row(
+    append_history(
+        RESULTS_FILE,
+        "parallel_execution.cross_engine",
         {
-            "benchmark": "parallel_execution.cross_engine",
             "prescription": PRESCRIPTION,
             "volume": VOLUME,
             "engines": ENGINES,
-            "cpus": os.cpu_count(),
-            "python": platform.python_version(),
-            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        },
+        {
             "seconds": {
                 backend: measurements[backend]["seconds"]
                 for backend in BACKENDS
@@ -140,7 +131,7 @@ def test_executor_backends_cross_engine(benchmark):
                 / measurements[backend]["seconds"]
                 for backend in BACKENDS
             },
-        }
+        },
     )
 
 

@@ -31,6 +31,15 @@ from repro.bootstrap import register_default_components
 
 register_default_components()
 
+from repro.analysis import (  # noqa: E402
+    BaselineManager,
+    Comparison,
+    GateReport,
+    RunRecord,
+    RunStore,
+    check_regressions,
+    compare_records,
+)
 from repro.core.errors import ReproError  # noqa: E402
 from repro.core.layers import (  # noqa: E402
     BigDataBenchmark,
@@ -60,9 +69,16 @@ from repro.observability import Span, Tracer, current_tracer, trace_span  # noqa
 __version__ = "1.0.0"
 
 __all__ = [
+    "BaselineManager",
     "BenchmarkSpec",
     "BenchmarkingProcess",
     "BigDataBenchmark",
+    "Comparison",
+    "GateReport",
+    "RunRecord",
+    "RunStore",
+    "check_regressions",
+    "compare_records",
     "DataRequirement",
     "DataSet",
     "DataType",

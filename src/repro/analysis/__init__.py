@@ -1,0 +1,58 @@
+"""Result analysis (the Execution Layer's closing component, Figure 2).
+
+The paper names *result analysis* as a first-class piece of the
+execution layer, and Section 5 asks for evaluation metrics that let
+users **compare** systems.  This package closes the loop from
+run → record → comparison → verdict:
+
+* :mod:`repro.analysis.store` — a persistent, append-only run store
+  (JSONL records keyed by a spec-fingerprint content hash, so identical
+  configurations group into comparable series);
+* :mod:`repro.analysis.compare` — statistical comparison of two runs or
+  series: bootstrap confidence intervals on the mean, Mann–Whitney U,
+  and relative-effect-size thresholds, emitting typed verdicts;
+* :mod:`repro.analysis.baselines` — promote recorded runs to named
+  baselines;
+* :mod:`repro.analysis.gate` — evaluate new runs against a baseline
+  with per-metric direction and tolerance: the CI regression gate.
+"""
+
+from repro.analysis.baselines import Baseline, BaselineManager
+from repro.analysis.compare import (
+    Comparison,
+    MetricComparison,
+    VERDICTS,
+    compare_records,
+    compare_samples,
+    compare_series,
+    metric_direction,
+)
+from repro.analysis.gate import GateReport, check_regressions
+from repro.analysis.store import (
+    RunRecord,
+    RunStore,
+    environment_fingerprint,
+    fingerprint_hash,
+    resolve_store_dir,
+    spec_fingerprint,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselineManager",
+    "Comparison",
+    "GateReport",
+    "MetricComparison",
+    "RunRecord",
+    "RunStore",
+    "VERDICTS",
+    "check_regressions",
+    "compare_records",
+    "compare_samples",
+    "compare_series",
+    "environment_fingerprint",
+    "fingerprint_hash",
+    "metric_direction",
+    "resolve_store_dir",
+    "spec_fingerprint",
+]

@@ -10,6 +10,11 @@ so the framework ships a CLI::
     repro-bench generate lda-text --volume 50 --fit-on text-corpus --format text-lines
     repro-bench tables                    # regenerate Table 1 and Table 2
     repro-bench miniature HiBench --scale 0.5
+    repro-bench run micro-sort --repeats 5 --record   # persist to the run store
+    repro-bench runs list                 # inspect recorded runs
+    repro-bench baseline promote latest main
+    repro-bench compare r0001 r0002       # statistical comparison
+    repro-bench gate --baseline main      # exit 1 on regression (CI)
 
 Every command is also callable in-process via :func:`main` (what the
 tests do).
@@ -86,6 +91,105 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--repository", default=None,
                             help="load prescriptions from a JSON file "
                                  "instead of the built-in repository")
+    run_parser.add_argument("--record", action="store_true",
+                            help="record this run's outcomes into the "
+                                 "persistent run store")
+    run_parser.add_argument("--store-dir", default=None, metavar="DIR",
+                            help="run-store directory (implies --record; "
+                                 "default: REPRO_STORE_DIR, else "
+                                 ".repro-runs)")
+    run_parser.add_argument("--history", action="store_true",
+                            help="render the history style (per-metric "
+                                 "sparklines from the run store) instead "
+                                 "of the plain table; implies --record")
+    run_parser.add_argument("--baseline", default=None, metavar="NAME",
+                            help="with --history: show per-metric deltas "
+                                 "against this promoted baseline")
+    run_parser.add_argument("--inject-latency", type=float, default=None,
+                            metavar="SECONDS",
+                            help="synthetic per-execution slowdown through "
+                                 "the fault substrate (regression-gate "
+                                 "demos and CI)")
+
+    runs_parser = commands.add_parser(
+        "runs", help="inspect the persistent run store"
+    )
+    runs_commands = runs_parser.add_subparsers(
+        dest="runs_command", required=True
+    )
+    runs_list = runs_commands.add_parser("list", help="list recorded runs")
+    runs_list.add_argument("--store-dir", default=None, metavar="DIR")
+    runs_list.add_argument("--series", default=None, metavar="KEY",
+                           help="only runs of this series (fingerprint "
+                                "hash prefix)")
+    runs_list.add_argument("--latest", action="store_true",
+                           help="print only the newest record id "
+                                "(script-friendly)")
+    runs_show = runs_commands.add_parser(
+        "show", help="show one recorded run in full"
+    )
+    runs_show.add_argument("record", help="record id, unique prefix, "
+                                          "series key, or 'latest'")
+    runs_show.add_argument("--store-dir", default=None, metavar="DIR")
+
+    compare_parser = commands.add_parser(
+        "compare", help="statistically compare two recorded runs"
+    )
+    compare_parser.add_argument("baseline", help="baseline record reference")
+    compare_parser.add_argument("candidate", help="candidate record reference")
+    compare_parser.add_argument("--store-dir", default=None, metavar="DIR")
+    compare_parser.add_argument("--metric", action="append", default=[],
+                                help="metric(s) to compare (default: all "
+                                     "shared)")
+    compare_parser.add_argument("--tolerance", type=float, default=None,
+                                help="relative effect-size threshold "
+                                     "(default 0.05)")
+    compare_parser.add_argument("--json", action="store_true",
+                                help="emit the comparison as JSON")
+
+    gate_parser = commands.add_parser(
+        "gate", help="check a candidate run against a baseline "
+                     "(exit 0 = pass, 1 = regression)"
+    )
+    gate_parser.add_argument("candidate", nargs="?", default=None,
+                             help="candidate record reference (default: "
+                                  "newest run in the baseline's series)")
+    gate_parser.add_argument("--baseline", required=True, metavar="NAME",
+                             help="promoted baseline name to gate against")
+    gate_parser.add_argument("--store-dir", default=None, metavar="DIR")
+    gate_parser.add_argument("--metric", action="append", default=[],
+                             help="metric(s) to gate on (default: all "
+                                  "shared)")
+    gate_parser.add_argument("--tolerance", type=float, default=None,
+                             help="relative effect-size threshold "
+                                  "(default 0.05)")
+    gate_parser.add_argument("--fail-on-inconclusive", action="store_true",
+                             help="treat inconclusive verdicts as failures")
+    gate_parser.add_argument("--json", action="store_true",
+                             help="emit the gate report as JSON")
+
+    baseline_parser = commands.add_parser(
+        "baseline", help="manage named baselines in the run store"
+    )
+    baseline_commands = baseline_parser.add_subparsers(
+        dest="baseline_command", required=True
+    )
+    baseline_promote = baseline_commands.add_parser(
+        "promote", help="promote a recorded run to a named baseline"
+    )
+    baseline_promote.add_argument("record", help="record reference "
+                                                 "(id/prefix/'latest')")
+    baseline_promote.add_argument("name", help="baseline name")
+    baseline_promote.add_argument("--store-dir", default=None, metavar="DIR")
+    baseline_list = baseline_commands.add_parser(
+        "list", help="list promoted baselines"
+    )
+    baseline_list.add_argument("--store-dir", default=None, metavar="DIR")
+    baseline_remove = baseline_commands.add_parser(
+        "remove", help="remove a named baseline (the record stays)"
+    )
+    baseline_remove.add_argument("name", help="baseline name")
+    baseline_remove.add_argument("--store-dir", default=None, metavar="DIR")
 
     export_parser = commands.add_parser(
         "export-prescriptions",
@@ -177,6 +281,10 @@ def _command_run(args, out) -> int:
     spec_overrides = {}
     if args.chunk_size is not None:
         spec_overrides["chunk_size"] = args.chunk_size
+    # --store-dir overrides the REPRO_STORE_DIR default; --history needs
+    # the run recorded to have anything to chart.
+    if args.store_dir is not None:
+        spec_overrides["store_dir"] = args.store_dir
     spec = BenchmarkSpec(
         prescription=args.prescription,
         engines=list(args.engine),
@@ -190,6 +298,8 @@ def _command_run(args, out) -> int:
         retries=args.retries,
         retry_backoff=args.retry_backoff,
         task_timeout=args.task_timeout,
+        record=args.record or args.history,
+        inject_latency=args.inject_latency,
         **spec_overrides,
     )
     tracing = args.trace or args.trace_out is not None
@@ -215,7 +325,31 @@ def _command_run(args, out) -> int:
         framework.prescription(args.prescription).metric_names
         or ["duration", "throughput"]
     )
-    print(render_results(outcomes, metrics=metric_names), file=out)
+    if args.history:
+        from repro.analysis.store import RunStore, resolve_store_dir
+
+        store = RunStore(resolve_store_dir(spec.store_dir))
+        print(
+            render_results(
+                outcomes,
+                style="history",
+                metrics=metric_names,
+                store=store,
+                baseline=args.baseline,
+            ),
+            file=out,
+        )
+    else:
+        print(render_results(outcomes, metrics=metric_names), file=out)
+    if report.record_ids:
+        from repro.analysis.store import resolve_store_dir
+
+        print(
+            f"recorded {len(report.record_ids)} run(s) to "
+            f"{resolve_store_dir(spec.store_dir)}: "
+            + ", ".join(report.record_ids),
+            file=out,
+        )
     if report.failures:
         print(f"failures: {len(report.failures)} task(s) failed "
               f"(on-error=continue kept the run going)", file=out)
@@ -309,6 +443,212 @@ def _command_miniature(args, out) -> int:
     return 0
 
 
+def _open_store(args):
+    from repro.analysis.store import RunStore, resolve_store_dir
+
+    return RunStore(resolve_store_dir(getattr(args, "store_dir", None)))
+
+
+def _command_runs(args, out) -> int:
+    from repro.execution.report import ascii_table, format_value
+
+    store = _open_store(args)
+    if args.runs_command == "show":
+        record = store.get(args.record)
+        print(f"record:      {record.record_id}", file=out)
+        print(f"series:      {record.series}", file=out)
+        print(f"created:     {record.created_at}", file=out)
+        print(f"status:      {record.status}", file=out)
+        for section in ("fingerprint", "environment"):
+            payload = getattr(record, section)
+            pairs = ", ".join(
+                f"{key}={format_value(value)}"
+                for key, value in payload.items()
+                if value not in (None, {}, [])
+            )
+            print(f"{section + ':':12s} {pairs}", file=out)
+        if record.ok:
+            from repro.core.results import MetricStats
+
+            print(
+                ascii_table(
+                    [
+                        {
+                            "metric": name,
+                            "mean": stats.mean,
+                            "p50": stats.p50,
+                            "p95": stats.p95,
+                            "p99": stats.p99,
+                            "stdev": stats.stdev,
+                            "n": len(stats.samples),
+                        }
+                        for name, stats in (
+                            (name, MetricStats(name, samples))
+                            for name, samples in record.metrics.items()
+                        )
+                    ]
+                ),
+                file=out,
+            )
+        else:
+            error = record.result.get("error_type", "")
+            message = record.result.get("error_message", "")
+            print(f"error:       {error}: {message}", file=out)
+        return 0
+    records = store.records()
+    if args.series:
+        records = [r for r in records if r.series.startswith(args.series)]
+    if args.latest:
+        if not records:
+            print("error: run store has no records", file=sys.stderr)
+            return 2
+        print(records[-1].record_id, file=out)
+        return 0
+    if not records:
+        print(f"(no recorded runs under {store.path})", file=out)
+        return 0
+    print(
+        ascii_table(
+            [
+                {
+                    "id": record.record_id,
+                    "created": record.created_at,
+                    "test": record.test_name,
+                    "engine": record.engine,
+                    "status": record.status,
+                    "series": record.series,
+                    "git": record.environment.get("git_sha") or "-",
+                }
+                for record in records
+            ]
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _render_comparison(comparison, out) -> None:
+    from repro.execution.report import ascii_table
+
+    rows = []
+    for metric in comparison.metrics.values():
+        ci = (
+            f"[{metric.ci_low:+.3f}, {metric.ci_high:+.3f}]"
+            if metric.ci_low is not None
+            else "n/a (n<2)"
+        )
+        rows.append(
+            {
+                "metric": metric.metric,
+                "better": metric.direction,
+                "baseline": metric.baseline_mean,
+                "candidate": metric.candidate_mean,
+                "Δ": f"{metric.relative_delta:+.1%}",
+                "95% CI": ci,
+                "p": metric.p_value if metric.p_value is not None else "n/a",
+                "verdict": metric.verdict,
+            }
+        )
+    print(ascii_table(rows), file=out)
+    print(
+        f"overall: {comparison.overall} "
+        f"({comparison.baseline} → {comparison.candidate})",
+        file=out,
+    )
+
+
+def _command_compare(args, out) -> int:
+    import json as json_module
+
+    from repro.analysis.compare import DEFAULT_TOLERANCE, compare_records
+
+    store = _open_store(args)
+    comparison = compare_records(
+        store.get(args.baseline),
+        store.get(args.candidate),
+        metrics=args.metric or None,
+        tolerance=(
+            args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+        ),
+    )
+    if args.json:
+        print(json_module.dumps(comparison.as_dict(), indent=2), file=out)
+        return 0
+    _render_comparison(comparison, out)
+    return 0
+
+
+def _command_gate(args, out) -> int:
+    import json as json_module
+
+    from repro.analysis.compare import DEFAULT_TOLERANCE
+    from repro.analysis.gate import check_regressions
+
+    store = _open_store(args)
+    report = check_regressions(
+        store,
+        args.baseline,
+        args.candidate,
+        metrics=args.metric or None,
+        tolerance=(
+            args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+        ),
+        fail_on_inconclusive=args.fail_on_inconclusive,
+    )
+    if args.json:
+        print(json_module.dumps(report.as_dict(), indent=2), file=out)
+        return report.exit_code
+    if report.comparison is not None:
+        _render_comparison(report.comparison, out)
+    verdict = "PASS" if report.passed else "FAIL"
+    print(
+        f"gate: {verdict} — baseline {report.baseline_name} "
+        f"({report.baseline_id}) vs candidate {report.candidate_id}",
+        file=out,
+    )
+    for reason in report.reasons:
+        print(f"  - {reason}", file=out)
+    return report.exit_code
+
+
+def _command_baseline(args, out) -> int:
+    from repro.analysis.baselines import BaselineManager
+    from repro.execution.report import ascii_table
+
+    manager = BaselineManager(_open_store(args))
+    if args.baseline_command == "promote":
+        baseline = manager.promote(args.record, args.name)
+        print(
+            f"promoted {baseline.record_id} to baseline "
+            f"{baseline.name!r} (series {baseline.series})",
+            file=out,
+        )
+        return 0
+    if args.baseline_command == "remove":
+        manager.remove(args.name)
+        print(f"removed baseline {args.name!r}", file=out)
+        return 0
+    baselines = manager.all()
+    if not baselines:
+        print("(no baselines promoted)", file=out)
+        return 0
+    print(
+        ascii_table(
+            [
+                {
+                    "name": baseline.name,
+                    "record": baseline.record_id,
+                    "series": baseline.series,
+                    "promoted": baseline.promoted_at,
+                }
+                for baseline in baselines.values()
+            ]
+        ),
+        file=out,
+    )
+    return 0
+
+
 def _command_export(args, out) -> int:
     from pathlib import Path
 
@@ -338,6 +678,14 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _command_miniature(args, out)
         if args.command == "export-prescriptions":
             return _command_export(args, out)
+        if args.command == "runs":
+            return _command_runs(args, out)
+        if args.command == "compare":
+            return _command_compare(args, out)
+        if args.command == "gate":
+            return _command_gate(args, out)
+        if args.command == "baseline":
+            return _command_baseline(args, out)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

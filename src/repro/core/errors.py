@@ -52,3 +52,8 @@ class RegistryError(ReproError):
 
 class MetricError(ReproError):
     """A metric could not be computed from the collected samples."""
+
+
+class AnalysisError(ReproError):
+    """The result-analysis subsystem could not complete a request
+    (missing record, unknown baseline, empty series, corrupt store)."""

@@ -48,6 +48,9 @@ class ProcessReport:
     steps: list[StepReport] = field(default_factory=list)
     results: list[RunResult] = field(default_factory=list)
     failures: list[TaskFailure] = field(default_factory=list)
+    #: Run-store record ids, in outcome order (empty unless the spec
+    #: asked for recording — see ``BenchmarkSpec.should_record``).
+    record_ids: list[str] = field(default_factory=list)
 
     @property
     def analyzer(self) -> ResultAnalyzer:
@@ -198,7 +201,22 @@ class BenchmarkingProcess:
         # Bare registry engines, exactly as the historical per-step loop
         # built them (assigned after construction: an empty dict would
         # otherwise be replaced by the default configuration table).
+        # A requested synthetic slowdown rides the fault substrate: each
+        # engine is wrapped so every execution stalls by the configured
+        # latency — deterministic, and invisible to the spec fingerprint
+        # (it models a code-level slowdown, not a different benchmark).
         runner.configurations = {}
+        if spec.inject_latency:
+            from repro.engines.faults import FaultSpec
+            from repro.execution.config import SystemConfiguration
+
+            slowdown = FaultSpec(
+                latency_rate=1.0, latency_seconds=spec.inject_latency
+            )
+            runner.configurations = {
+                engine_name: SystemConfiguration(engine_name, fault=slowdown)
+                for engine_name in engine_names
+            }
         run_tasks = [
             RunTask(
                 prescription,
@@ -266,9 +284,47 @@ class BenchmarkingProcess:
                     for result in ranking
                     if lead in result.metrics
                 ]
+            if spec.should_record:
+                analysis["recorded"] = self._record_outcomes(spec, report)
         report.steps.append(
             StepReport(
                 "analysis-evaluation", time.perf_counter() - started, analysis
             )
         )
         return report
+
+    def _record_outcomes(
+        self, spec: BenchmarkSpec, report: ProcessReport
+    ) -> dict[str, Any]:
+        """Persist every outcome into the configured run store.
+
+        One record per outcome (results and captured failures alike),
+        each under the spec fingerprint of its engine so repeat runs of
+        the same configuration accumulate into one comparable series.
+        """
+        from repro.analysis.store import (
+            RunStore,
+            environment_fingerprint,
+            resolve_store_dir,
+            spec_fingerprint,
+        )
+
+        store = RunStore(resolve_store_dir(spec.store_dir))
+        environment = environment_fingerprint()
+        for outcome in report.results + report.failures:
+            fingerprint = spec_fingerprint(
+                spec.prescription,
+                outcome.engine,
+                workload=outcome.workload,
+                volume=spec.volume,
+                repeats=spec.repeats,
+                params=spec.params,
+                chunk_size=spec.chunk_size,
+                executor=spec.executor,
+                data_partitions=spec.data_partitions,
+            )
+            record = store.record_outcome(
+                outcome, fingerprint, environment=environment
+            )
+            report.record_ids.append(record.record_id)
+        return {"store": str(store.path), "record_ids": list(report.record_ids)}

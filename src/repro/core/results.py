@@ -13,6 +13,7 @@ and reports *what* failed instead of discarding everything.
 
 from __future__ import annotations
 
+import math
 import statistics
 import traceback
 from dataclasses import dataclass, field
@@ -47,6 +48,64 @@ class MetricStats:
             return 0.0
         return statistics.stdev(self.samples)
 
+    def percentile(self, q: float) -> float:
+        """The q-th percentile by linear interpolation between ranks.
+
+        Small-sample behavior is deliberate: one sample *is* every
+        percentile, and with n samples the estimate interpolates
+        between the two closest order statistics rather than snapping
+        to an extreme — so p99 of a 3-repeat run is near the max, not a
+        fabricated tail.
+        """
+        if not 0 <= q <= 100:
+            raise MetricError(f"percentile must be in [0, 100], got {q}")
+        if not self.samples:
+            raise MetricError(f"metric {self.name!r} has no samples")
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (len(ordered) - 1) * q / 100.0
+        lower = math.floor(rank)
+        upper = math.ceil(rank)
+        if lower == upper:
+            return ordered[lower]
+        fraction = rank - lower
+        return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Full serialization, samples included (round-trippable)."""
+        return {
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "stdev": self.stdev,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "samples": list(self.samples),
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, payload: dict[str, Any]) -> "MetricStats":
+        samples = payload.get("samples")
+        if not samples:
+            # A summary-only payload (no raw samples): the mean is the
+            # best single reconstruction available.
+            samples = [payload["mean"]]
+        return cls(name, [float(sample) for sample in samples])
+
 
 @dataclass
 class RunResult:
@@ -59,12 +118,16 @@ class RunResult:
     metrics: dict[str, MetricStats] = field(default_factory=dict)
     extra: dict[str, Any] = field(default_factory=dict)
 
-    #: Successful outcomes are always "ok" (see :class:`TaskFailure`).
-    status: str = field(default="ok", init=False, repr=False)
+    #: Outcome status.  A result built by the runner is ``"ok"``, but
+    #: the field is a real (serializable, round-trippable) field so a
+    #: stored record deserialized through :meth:`from_dict` keeps
+    #: whatever status it was recorded with — a failed-then-merged
+    #: batch must not silently come back as ok.
+    status: str = field(default="ok", repr=False)
 
     @property
     def ok(self) -> bool:
-        return True
+        return self.status == "ok"
 
     def metric(self, name: str) -> MetricStats:
         try:
@@ -77,6 +140,43 @@ class RunResult:
 
     def mean(self, name: str) -> float:
         return self.metric(name).mean
+
+    def as_dict(self) -> dict[str, Any]:
+        """The JSON-friendly, round-trippable form the run store keeps.
+
+        Metric payloads include the raw samples (not just summary
+        statistics) so a stored run can later be compared with full
+        statistical power; ``status`` is serialized explicitly so the
+        round trip preserves it (see :meth:`from_dict`).
+        """
+        payload: dict[str, Any] = {
+            "test": self.test_name,
+            "workload": self.workload,
+            "engine": self.engine,
+            "repeats": self.repeats,
+            "status": self.status,
+            "metrics": {
+                name: stats.as_dict() for name, stats in self.metrics.items()
+            },
+        }
+        if self.extra:
+            payload["extra"] = dict(self.extra)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "RunResult":
+        return cls(
+            test_name=payload["test"],
+            workload=payload.get("workload", ""),
+            engine=payload.get("engine", ""),
+            repeats=int(payload.get("repeats", 1)),
+            metrics={
+                name: MetricStats.from_dict(name, stats)
+                for name, stats in payload.get("metrics", {}).items()
+            },
+            extra=dict(payload.get("extra", {})),
+            status=payload.get("status", "ok"),
+        )
 
     @classmethod
     def from_workload_results(
@@ -160,6 +260,20 @@ class TaskFailure:
         return payload
 
     @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "TaskFailure":
+        """Rebuild a captured failure from its :meth:`as_dict` form."""
+        return cls(
+            test_name=payload["test"],
+            workload=payload.get("workload", ""),
+            engine=payload.get("engine", ""),
+            error_type=payload.get("error_type", "Exception"),
+            error_message=payload.get("error_message", ""),
+            traceback_summary=payload.get("traceback", ""),
+            attempts=int(payload.get("attempts", 1)),
+            extra=dict(payload.get("extra", {})),
+        )
+
+    @classmethod
     def from_exception(
         cls,
         test_name: str,
@@ -190,6 +304,19 @@ class TaskFailure:
 #: What fan-out entry points return per task: a result or a captured
 #: failure (only under ``on_error="continue"``), in submission order.
 RunOutcome = "RunResult | TaskFailure"
+
+
+def outcome_from_dict(payload: dict[str, Any]) -> "RunResult | TaskFailure":
+    """Rebuild either outcome type from its serialized form.
+
+    Dispatches on the serialized ``status``: ``"failed"`` payloads come
+    back as :class:`TaskFailure`, everything else as
+    :class:`RunResult` — with its recorded status preserved, not reset
+    to ok.
+    """
+    if payload.get("status") == "failed":
+        return TaskFailure.from_dict(payload)
+    return RunResult.from_dict(payload)
 
 
 def split_outcomes(

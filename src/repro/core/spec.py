@@ -76,6 +76,26 @@ class BenchmarkSpec:
     retry_backoff: float = 0.0
     #: Wall-clock budget per task attempt, in seconds (None = unbounded).
     task_timeout: float | None = None
+    #: Record this run's outcomes into the persistent run store (see
+    #: :mod:`repro.analysis.store`).  Recording also turns on whenever
+    #: ``store_dir`` (or ``REPRO_STORE_DIR``) names a store.
+    record: bool = False
+    #: Run-store directory; None defers to ``REPRO_STORE_DIR`` (whose
+    #: presence alone enables recording), else ``.repro-runs``.
+    store_dir: str | None = field(
+        default_factory=lambda: os.environ.get("REPRO_STORE_DIR", "").strip()
+        or None
+    )
+    #: Synthetic per-execution latency in seconds, injected through the
+    #: seeded fault substrate (:mod:`repro.engines.faults`).  Simulates
+    #: "the code got slower" without changing the spec fingerprint —
+    #: the knob the regression-gate CI job uses to prove the gate trips.
+    inject_latency: float | None = None
+
+    @property
+    def should_record(self) -> bool:
+        """Whether this run's outcomes land in the run store."""
+        return self.record or self.store_dir is not None
 
     def validate(self, repository: PrescriptionRepository) -> None:
         """Raise :class:`SpecError` on any inconsistency."""
@@ -126,6 +146,11 @@ class BenchmarkSpec:
         if self.task_timeout is not None and self.task_timeout <= 0:
             raise SpecError(
                 f"task_timeout must be positive, got {self.task_timeout}"
+            )
+        if self.inject_latency is not None and self.inject_latency < 0:
+            raise SpecError(
+                f"inject_latency must be non-negative, got "
+                f"{self.inject_latency}"
             )
         prescription = repository.get(self.prescription)
         workload_name = prescription.workload

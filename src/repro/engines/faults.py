@@ -172,8 +172,13 @@ class FaultInjector:
         self.injected_failures = 0
         self.injected_latency_seconds = 0.0
 
-    def inject(self, detail: str = "") -> None:
-        """Raise or stall according to the spec (no-op otherwise)."""
+    def inject(self, detail: str = "") -> float:
+        """Raise or stall according to the spec (no-op otherwise).
+
+        Returns the seconds stalled, so callers timing around the
+        injection point can account for it (a self-timed workload would
+        otherwise exclude the stall from its measured duration).
+        """
         state = current_fault_attempt()
         if state is not None:
             key, attempt, call = state.key, state.attempt, state.next_call()
@@ -192,6 +197,7 @@ class FaultInjector:
                 f"{self.spec.message}{where} "
                 f"(key={key!r}, attempt={attempt}, call={call})"
             )
+        return decision.latency_seconds
 
 
 class FaultyEngine(Engine):
@@ -220,8 +226,8 @@ class FaultyEngine(Engine):
     def fault_spec(self) -> FaultSpec:
         return self._injector.spec
 
-    def inject_fault(self, detail: str = "") -> None:
-        self._injector.inject(detail or f"engine {self._inner.name!r}")
+    def inject_fault(self, detail: str = "") -> float:
+        return self._injector.inject(detail or f"engine {self._inner.name!r}")
 
     def __getattr__(self, name: str) -> Any:
         return getattr(self._inner, name)

@@ -22,7 +22,10 @@ from repro.core.results import RunResult, TaskFailure
 from repro.observability import Span
 
 #: The styles :func:`render_results` accepts.
-RESULT_STYLES = ("ascii", "markdown", "json")
+RESULT_STYLES = ("ascii", "markdown", "json", "history")
+
+#: Unicode blocks the history sparklines are drawn with.
+SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
 
 
 def format_value(value: Any) -> str:
@@ -106,6 +109,8 @@ def render_results(
     results: list[RunResult | TaskFailure],
     style: str = "ascii",
     metrics: list[str] | None = None,
+    store: Any = None,
+    baseline: str | None = None,
 ) -> str:
     """Render run results in one of the supported styles.
 
@@ -113,6 +118,11 @@ def render_results(
     omitted, every metric any result carries is shown (in first-
     appearance order).  The JSON style always serializes all metric
     statistics and ignores ``metrics``.
+
+    The ``history`` style needs a ``store``
+    (:class:`~repro.analysis.store.RunStore`): each metric row grows a
+    sparkline of that configuration's recorded trajectory and — when
+    ``baseline`` names a promoted baseline — a delta column against it.
 
     Outcome lists from a fault-tolerant run render in place: a captured
     :class:`TaskFailure` keeps its submission-order row with ``status``
@@ -134,6 +144,8 @@ def render_results(
                 for name in result.metrics:
                     if name not in metrics:
                         metrics.append(name)
+    if style == "history":
+        return _render_history(results, metrics, store, baseline)
     rows = _outcome_rows(results, metrics)
     if style == "markdown":
         return markdown_table(rows)
@@ -196,6 +208,9 @@ def _render_results_json(results: list[RunResult | TaskFailure]) -> str:
                     "min": stats.minimum,
                     "max": stats.maximum,
                     "stdev": stats.stdev,
+                    "p50": stats.p50,
+                    "p95": stats.p95,
+                    "p99": stats.p99,
                 }
                 for name, stats in result.metrics.items()
             },
@@ -204,6 +219,108 @@ def _render_results_json(results: list[RunResult | TaskFailure]) -> str:
             entry["extra"] = result.extra
         payload.append(entry)
     return json.dumps(payload, indent=2, sort_keys=True, default=str)
+
+
+# ---------------------------------------------------------------------------
+# History rendering (per-metric sparklines and baseline deltas)
+# ---------------------------------------------------------------------------
+
+
+def sparkline(values: list[float], width: int = 12) -> str:
+    """Draw a value trajectory as unicode block characters.
+
+    The last ``width`` values are scaled to the block range; a constant
+    series renders flat mid-height, which reads as "no movement".
+    """
+    values = [float(v) for v in values][-width:]
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    if high == low:
+        return SPARK_BLOCKS[3] * len(values)
+    scale = (len(SPARK_BLOCKS) - 1) / (high - low)
+    return "".join(
+        SPARK_BLOCKS[int(round((value - low) * scale))] for value in values
+    )
+
+
+def _render_history(
+    results: list[RunResult | TaskFailure],
+    metrics: list[str],
+    store: Any,
+    baseline: str | None,
+) -> str:
+    """One row per (result, metric): stats, trajectory, baseline delta.
+
+    Stored history is matched by (test name, engine) — the display-side
+    approximation of the store's fingerprint series, good enough to
+    chart "this test on this engine over time" without replumbing spec
+    context into the renderer.
+    """
+    if store is None:
+        raise ExecutionError(
+            "the history style needs a run store "
+            "(render_results(..., store=RunStore(...)))"
+        )
+    baseline_record = None
+    if baseline is not None:
+        from repro.analysis.baselines import BaselineManager
+
+        baseline_record = BaselineManager(store).resolve(baseline)
+    records = store.records()
+    rows: list[dict[str, Any]] = []
+    for result in results:
+        if isinstance(result, TaskFailure):
+            rows.append(
+                {
+                    "test": result.test_name,
+                    "engine": result.engine,
+                    "metric": "-",
+                    "status": result.status,
+                    "error": result.error,
+                }
+            )
+            continue
+        history = [
+            record
+            for record in records
+            if record.test_name == result.test_name
+            and record.engine == result.engine
+            and record.ok
+        ]
+        for name in metrics:
+            if name not in result.metrics:
+                continue
+            stats = result.metrics[name]
+            trajectory = [
+                record.mean(name)
+                for record in history
+                if name in record.metrics
+            ]
+            row: dict[str, Any] = {
+                "test": result.test_name,
+                "engine": result.engine,
+                "metric": name,
+                "mean": stats.mean,
+                "p50": stats.p50,
+                "p95": stats.p95,
+                "history": sparkline(trajectory) or "(none)",
+            }
+            if baseline_record is not None:
+                row["vs baseline"] = _baseline_delta(
+                    stats.mean, baseline_record, name
+                )
+            rows.append(row)
+    return ascii_table(rows)
+
+
+def _baseline_delta(mean: float, baseline_record: Any, metric: str) -> str:
+    if metric not in baseline_record.metrics:
+        return "n/a"
+    reference = baseline_record.mean(metric)
+    if reference == 0:
+        return "n/a"
+    return f"{(mean - reference) / abs(reference):+.1%}"
 
 
 def results_table(

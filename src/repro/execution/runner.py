@@ -193,11 +193,17 @@ class TestRunner:
         configurations: dict[str, SystemConfiguration] | None = None,
         options: RunnerOptions | None = None,
         suite: MetricSuite | None = None,
+        store: Any = None,
     ) -> None:
         self.test_generator = test_generator or TestGenerator()
         self.configurations = configurations or default_configurations()
         self.options = options or RunnerOptions()
         self.suite = suite or MetricSuite.standard()
+        #: Optional :class:`~repro.analysis.store.RunStore`: when set,
+        #: every ``run_many`` batch auto-records its outcomes (the
+        #: five-step process records at the spec level instead — see
+        #: ``BenchmarkSpec.should_record`` — so it leaves this unset).
+        self.store = store
         self._executor: ParallelExecutor | None = None
         self._executor_key: tuple[str, int | None] | None = None
 
@@ -497,7 +503,39 @@ class TestRunner:
                 )
         if tracer.enabled:
             self._graft_task_traces(tracer, outcomes)
+        if self.store is not None:
+            self._record_outcomes(tasks, outcomes)
         return outcomes
+
+    def _record_outcomes(
+        self, tasks: list[RunTask], outcomes: list[RunOutcome]
+    ) -> None:
+        """Persist a batch's outcomes into the attached run store.
+
+        The fingerprint is rebuilt from each task's own request (plus
+        the runner's repeat/executor options), so identical requests
+        recorded through the runner and through the five-step process
+        land in the same comparable series.
+        """
+        from repro.analysis.store import environment_fingerprint, spec_fingerprint
+
+        environment = environment_fingerprint()
+        for task, outcome in zip(tasks, outcomes):
+            prescription_name, workload_name = self._task_identity(task)
+            fingerprint = spec_fingerprint(
+                prescription_name,
+                task.engine_name,
+                workload=outcome.workload or workload_name,
+                volume=task.volume_override,
+                repeats=self.options.repeats,
+                params=task.overrides,
+                chunk_size=task.chunk_size,
+                executor=self.options.executor,
+                data_partitions=task.data_partitions,
+            )
+            self.store.record_outcome(
+                outcome, fingerprint, environment=environment
+            )
 
     def _run_task_traced(
         self,

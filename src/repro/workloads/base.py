@@ -150,14 +150,22 @@ class Workload(ABC):
             # Fault-injection seam: an engine that defines ``inject_fault``
             # (see repro.engines.faults.FaultyEngine) may raise or stall
             # here, modeling a system that is unavailable or slow before
-            # useful work starts.  Bare engines pay one getattr.
-            inject = getattr(engine, "inject_fault", None)
-            if inject is not None:
-                inject(f"workload {self.name!r}")
+            # useful work starts.  The timer starts first — a stall is
+            # part of the duration a client of the slow system would
+            # measure, which is what the regression gate watches.  Bare
+            # engines pay one getattr.
             started = time.perf_counter()
+            inject = getattr(engine, "inject_fault", None)
+            stalled = 0.0
+            if inject is not None:
+                stalled = inject(f"workload {self.name!r}") or 0.0
             result = implementation(engine, dataset, **params)
             if result.duration_seconds == 0.0:
                 result.duration_seconds = time.perf_counter() - started
+            elif stalled:
+                # Self-timed implementations sum engine-side wall time
+                # only; the stall still happened on the client's clock.
+                result.duration_seconds += stalled
             if span:
                 # The engine's uniform cost accounting, attached to the
                 # enclosing span (Section 3.1 architecture metrics).

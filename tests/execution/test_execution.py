@@ -218,7 +218,7 @@ class TestRenderFacade:
         return [runner.run("micro-wordcount", "mapreduce", 15)]
 
     def test_style_registry(self):
-        assert RESULT_STYLES == ("ascii", "markdown", "json")
+        assert RESULT_STYLES == ("ascii", "markdown", "json", "history")
 
     def test_unknown_style_rejected(self):
         with pytest.raises(ExecutionError):
@@ -250,7 +250,9 @@ class TestRenderFacade:
         results = self._results()
         payload = json.loads(render_results(results, style="json"))
         stats = payload[0]["metrics"]["duration"]
-        assert set(stats) == {"mean", "min", "max", "stdev"}
+        assert set(stats) == {
+            "mean", "min", "max", "stdev", "p50", "p95", "p99"
+        }
 
 
 class TestTableEdgeCases:

@@ -219,6 +219,139 @@ class TestPrescriptionFiles:
         assert code == 2
 
 
+class TestResultAnalysis:
+    """The record → promote → compare → gate CLI loop on a tmp store."""
+
+    def _record(self, tmp_path, *extra):
+        return run_cli(
+            "run", "micro-wordcount", "--volume", "30", "--repeats", "2",
+            "--record", "--store-dir", str(tmp_path / "store"), *extra,
+        )
+
+    def test_record_and_runs_listing(self, tmp_path):
+        code, output = self._record(tmp_path)
+        assert code == 0
+        assert "recorded 1 run(s)" in output
+        assert "r0001" in output
+        code, output = run_cli(
+            "runs", "list", "--store-dir", str(tmp_path / "store")
+        )
+        assert code == 0
+        assert "r0001" in output
+        assert "micro-wordcount@mapreduce" in output
+        code, output = run_cli(
+            "runs", "show", "r0001",
+            "--store-dir", str(tmp_path / "store"),
+        )
+        assert code == 0
+        assert "duration" in output
+
+    def test_store_dir_env_variable(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "env-store"))
+        code, _ = run_cli(
+            "run", "micro-wordcount", "--volume", "30", "--record"
+        )
+        assert code == 0
+        assert (tmp_path / "env-store" / "runs.jsonl").exists()
+
+    def test_compare_identical_reruns(self, tmp_path):
+        self._record(tmp_path)
+        self._record(tmp_path)
+        code, output = run_cli(
+            "compare", "r0001", "r0002",
+            "--store-dir", str(tmp_path / "store"),
+            "--metric", "throughput",
+        )
+        assert code == 0
+        assert "unchanged" in output
+        code, output = run_cli(
+            "compare", "r0001", "r0002", "--json",
+            "--store-dir", str(tmp_path / "store"),
+            "--metric", "throughput",
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["overall"] == "unchanged"
+
+    def test_gate_passes_then_fails_on_injected_slowdown(self, tmp_path):
+        self._record(tmp_path)
+        code, output = run_cli(
+            "baseline", "promote", "latest", "main",
+            "--store-dir", str(tmp_path / "store"),
+        )
+        assert code == 0
+        assert "promoted r0001" in output
+        # Identical rerun: deterministic metrics unchanged, gate passes.
+        self._record(tmp_path)
+        code, output = run_cli(
+            "gate", "--baseline", "main",
+            "--store-dir", str(tmp_path / "store"),
+            "--metric", "throughput",
+        )
+        assert code == 0
+        assert "PASS" in output
+        # Injected latency: duration regresses, gate exits nonzero.  The
+        # repeats stay the same — repeats are part of the spec
+        # fingerprint, and the gate only considers the baseline's series.
+        self._record(tmp_path, "--inject-latency", "0.05")
+        code, output = run_cli(
+            "gate", "--baseline", "main", "--json",
+            "--store-dir", str(tmp_path / "store"),
+            "--metric", "duration",
+        )
+        assert code == 1
+        payload = json.loads(output)
+        assert payload["passed"] is False
+        assert payload["comparison"]["metrics"]["duration"]["verdict"] == (
+            "regressed"
+        )
+
+    def test_baseline_list_and_remove(self, tmp_path):
+        self._record(tmp_path)
+        run_cli(
+            "baseline", "promote", "latest", "main",
+            "--store-dir", str(tmp_path / "store"),
+        )
+        code, output = run_cli(
+            "baseline", "list", "--store-dir", str(tmp_path / "store")
+        )
+        assert code == 0
+        assert "main" in output and "r0001" in output
+        code, _ = run_cli(
+            "baseline", "remove", "main",
+            "--store-dir", str(tmp_path / "store"),
+        )
+        assert code == 0
+
+    def test_history_style_renders_sparkline_and_delta(self, tmp_path):
+        self._record(tmp_path)
+        run_cli(
+            "baseline", "promote", "latest", "main",
+            "--store-dir", str(tmp_path / "store"),
+        )
+        code, output = run_cli(
+            "run", "micro-wordcount", "--volume", "30", "--repeats", "2",
+            "--history", "--baseline", "main",
+            "--store-dir", str(tmp_path / "store"),
+        )
+        assert code == 0
+        assert "history" in output
+        assert "vs baseline" in output
+
+    def test_unknown_record_and_baseline_fail_cleanly(self, tmp_path):
+        self._record(tmp_path)
+        code, _ = run_cli(
+            "runs", "show", "zzzz",
+            "--store-dir", str(tmp_path / "store"),
+        )
+        assert code == 2
+        code, _ = run_cli(
+            "gate", "--baseline", "nope",
+            "--store-dir", str(tmp_path / "store"),
+        )
+        assert code == 2
+
+
 class TestMiniature:
     def test_runs_a_miniature(self):
         code, output = run_cli("miniature", "GridMix", "--scale", "0.3")

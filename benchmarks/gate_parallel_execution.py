@@ -1,0 +1,66 @@
+"""CI gate for the warm-pool series of ``BENCH_parallel_execution.json``.
+
+Enforces the process backend's headline property: in steady state a warm
+process pool must be at least as fast as the cold serial path — i.e.
+``speedup_vs_serial.process >= 1.0`` on **every** row of the
+``parallel_execution.warm_pool`` series.  Run it on a file freshly
+extended by ``bench_parallel_execution.py`` so the newest row reflects
+the revision under test.
+
+Exit codes: 0 — every row holds the bound; 1 — at least one row
+regressed below it; 2 — no warm-pool rows to check (treat as a failure
+in CI: the bench did not run or did not record).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+SERIES = "parallel_execution.warm_pool"
+THRESHOLD = 1.0
+DEFAULT_FILE = Path(__file__).parent / "BENCH_parallel_execution.json"
+
+
+def gate(path: Path = DEFAULT_FILE, threshold: float = THRESHOLD) -> int:
+    if not path.exists():
+        print(f"gate: {path} does not exist", file=sys.stderr)
+        return 2
+    rows = [
+        row
+        for row in json.loads(path.read_text())
+        # Older rows kept the benchmark name at the top level; newer
+        # ones carry it inside the run-store-style fingerprint.
+        if (row.get("fingerprint", {}).get("benchmark") or row.get("benchmark"))
+        == SERIES
+    ]
+    if not rows:
+        print(f"gate: no {SERIES!r} rows in {path}", file=sys.stderr)
+        return 2
+    failures = 0
+    for row in rows:
+        speedup = row["measurements"]["speedup_vs_serial"]["process"]
+        stamp = row.get("created_at") or row.get("timestamp", "?")
+        verdict = "ok" if speedup >= threshold else "REGRESSED"
+        print(
+            f"{stamp}  process speedup_vs_serial = {speedup:.3f} "
+            f"(>= {threshold:.1f})  {verdict}"
+        )
+        if speedup < threshold:
+            failures += 1
+    if failures:
+        print(
+            f"gate: {failures} of {len(rows)} warm-pool rows below "
+            f"{threshold:.1f}x — the process backend lost to serial",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"gate: all {len(rows)} warm-pool rows hold >= {threshold:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(
+        gate(Path(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_FILE)
+    )

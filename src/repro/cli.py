@@ -63,6 +63,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--workers", type=int, default=None,
                             help="worker count for the pooled executor "
                                  "backends (default: one per CPU)")
+    run_parser.add_argument("--no-warm-pool", action="store_true",
+                            help="process backend: ship each task as a "
+                                 "self-contained payload to a fresh worker "
+                                 "runner instead of streaming descriptors "
+                                 "to a warm pool")
     run_parser.add_argument("--on-error", default="abort",
                             choices=["abort", "continue"],
                             help="failure policy: abort the run on the "
@@ -294,6 +299,7 @@ def _command_run(args, out) -> int:
         params=_parse_params(args.param),
         executor=args.executor,
         max_workers=args.workers,
+        warm_pool=not args.no_warm_pool,
         on_error=args.on_error,
         retries=args.retries,
         retry_backoff=args.retry_backoff,

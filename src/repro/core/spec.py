@@ -66,6 +66,10 @@ class BenchmarkSpec:
     )
     #: Worker count for the pooled executor backends; None = one per CPU.
     max_workers: int | None = None
+    #: Process backend only: keep a warm worker pool alive across the
+    #: run's batches (workers initialize once, tasks ship as lightweight
+    #: descriptors).  False restores the cold per-task-payload path.
+    warm_pool: bool = True
     #: Failure policy: "abort" (fail-fast) or "continue" (capture
     #: per-task failures, keep completed results).
     on_error: str = "abort"

@@ -350,7 +350,11 @@ class DataGenerator(ABC):
         return self._wrap(records, name)
 
     def generate_parallel(
-        self, volume: int, num_partitions: int, name: str | None = None
+        self,
+        volume: int,
+        num_partitions: int,
+        name: str | None = None,
+        executor: Any = None,
     ) -> DataSet:
         """Generate ``volume`` records split deterministically into partitions.
 
@@ -358,13 +362,36 @@ class DataGenerator(ABC):
         point of partitioning is that each partition is independent, so a
         velocity controller can run partitions concurrently or on multiple
         machines (Section 3.2, step 3).
+
+        ``executor`` makes that concurrency real: a backend name or
+        :class:`~repro.execution.parallel.ParallelExecutor` fans the
+        partitions out (each seeded independently via
+        :meth:`rng_for_partition`) and merges them in partition order —
+        bit-identical to the serial loop, on every backend.  The process
+        backend requires the generator itself to be picklable; each
+        worker receives the generator once per partition and samples
+        only its own partition's seeded stream.
         """
         self._require_fitted()
         if num_partitions <= 0:
             raise GenerationError(
                 f"num_partitions must be positive, got {num_partitions}"
             )
-        records: list[Any] = []
+        if executor is not None and num_partitions > 1:
+            from repro.execution.parallel import resolve_executor
+
+            partitions = resolve_executor(executor).map(
+                _generate_partition_payload,
+                [
+                    (self, volume, partition, num_partitions)
+                    for partition in range(num_partitions)
+                ],
+            )
+            records = [
+                record for partition in partitions for record in partition
+            ]
+            return self._wrap(records, name)
+        records = []
         for partition in range(num_partitions):
             records.extend(
                 self.generate_partition(volume, partition, num_partitions)
@@ -387,6 +414,12 @@ class DataGenerator(ABC):
             records=records,
             metadata={"generator": self.name, "seed": self.seed},
         )
+
+
+def _generate_partition_payload(payload: tuple) -> list[Any]:
+    """Module-level partition task (picklable for the process backend)."""
+    generator, volume, partition, num_partitions = payload
+    return generator.generate_partition(volume, partition, num_partitions)
 
 
 class PurelySyntheticMixin:

@@ -27,27 +27,28 @@ it resident again.
 from __future__ import annotations
 
 import hashlib
-import pickle
 import threading
 from collections import OrderedDict
-from collections.abc import Callable, Iterator, Mapping
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
-from repro.datagen.base import (
-    DEFAULT_CHUNK_SIZE,
-    DataSet,
-    DataType,
-    RecordBatch,
+from repro.datagen.base import DataSet, DataType
+from repro.datagen.handoff import (
+    STREAM_CHUNK_RECORDS,
+    FileStreamSource,
+    write_stream,
 )
 from repro.observability import current_tracer
 
 #: A fully-resolved cache key; see :meth:`DatasetCache.make_key`.
 CacheKey = tuple
 
-#: Records per pickled chunk in a spill file.
-SPILL_CHUNK_RECORDS = DEFAULT_CHUNK_SIZE
+#: Records per pickled chunk in a spill file (the chunk-stream format is
+#: shared with the process pool's dataset handoff — see
+#: :mod:`repro.datagen.handoff`).
+SPILL_CHUNK_RECORDS = STREAM_CHUNK_RECORDS
 
 
 @dataclass(frozen=True)
@@ -135,93 +136,14 @@ class _Entry:
         return self.dataset is not None
 
 
-class SpilledDatasetSource:
+class SpilledDatasetSource(FileStreamSource):
     """A dataset source re-streaming a spilled cache entry from disk.
 
     Satisfies :class:`~repro.datagen.source.DatasetSource`: batches are
-    read chunk by chunk from the pickle stream, so peak memory is one
+    read chunk by chunk from the pickle stream (the shared chunk-stream
+    format of :mod:`repro.datagen.handoff`), so peak memory is one
     chunk regardless of how large the spilled data set is.
     """
-
-    def __init__(
-        self,
-        path: Path,
-        name: str,
-        data_type: DataType,
-        metadata: dict[str, Any],
-        num_records: int,
-    ) -> None:
-        self.path = path
-        self.name = name
-        self._data_type = data_type
-        self.metadata = dict(metadata)
-        self._num_records = num_records
-
-    @property
-    def data_type(self) -> DataType:
-        return self._data_type
-
-    @property
-    def num_records(self) -> int:
-        return self._num_records
-
-    def __len__(self) -> int:
-        return self._num_records
-
-    def _iter_chunks(self) -> Iterator[list[Any]]:
-        with self.path.open("rb") as handle:
-            pickle.load(handle)  # header
-            while True:
-                try:
-                    yield pickle.load(handle)
-                except EOFError:
-                    return
-
-    def batches(self, chunk_size: int | None = None) -> Iterator[RecordBatch]:
-        """Re-chunk the stored stream to the requested chunk size."""
-        chunk_size = DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size
-        if chunk_size <= 0:
-            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
-        buffer: list[Any] = []
-        index = 0
-        offset = 0
-        for chunk in self._iter_chunks():
-            buffer.extend(chunk)
-            while len(buffer) >= chunk_size:
-                records, buffer = buffer[:chunk_size], buffer[chunk_size:]
-                yield RecordBatch(
-                    records=records, data_type=self._data_type,
-                    index=index, offset=offset,
-                )
-                offset += len(records)
-                index += 1
-        if buffer:
-            yield RecordBatch(
-                records=buffer, data_type=self._data_type,
-                index=index, offset=offset,
-            )
-
-    def __iter__(self) -> Iterator[Any]:
-        for batch in self.batches():
-            yield from batch
-
-    def materialize(self) -> DataSet:
-        """Load the full spilled data set back into memory."""
-        records: list[Any] = []
-        for chunk in self._iter_chunks():
-            records.extend(chunk)
-        return DataSet(
-            name=self.name,
-            data_type=self._data_type,
-            records=records,
-            metadata=dict(self.metadata),
-        )
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return (
-            f"SpilledDatasetSource(name={self.name!r}, "
-            f"records={self._num_records}, path={str(self.path)!r})"
-        )
 
 
 class DatasetCache:
@@ -295,6 +217,16 @@ class DatasetCache:
             fit_on,
             frozen_params,
         )
+
+    @staticmethod
+    def fingerprint(key: CacheKey) -> str:
+        """The sha256 content address of one cache key.
+
+        Stable across processes (keys are tuples of primitives), so a
+        parent can ship the fingerprint to a pool worker and both sides
+        agree on which deterministic generation it names.
+        """
+        return hashlib.sha256(repr(key).encode()).hexdigest()
 
     # ------------------------------------------------------------------
     # Access
@@ -442,23 +374,38 @@ class DatasetCache:
     def _spill_locked(self, key: CacheKey, entry: _Entry) -> None:
         """Write one resident entry to disk and drop its records."""
         self.spill_dir.mkdir(parents=True, exist_ok=True)
-        digest = hashlib.sha256(repr(key).encode()).hexdigest()[:16]
-        path = self.spill_dir / f"spill-{digest}.pkl"
-        dataset = entry.dataset
-        header = {
-            "name": dataset.name,
-            "data_type": dataset.data_type.name,
-            "num_records": dataset.num_records,
-        }
+        path = self.spill_dir / f"spill-{self.fingerprint(key)[:16]}.pkl"
         with path.open("wb") as handle:
-            pickle.dump(header, handle)
-            records = dataset.records
-            for start in range(0, len(records), SPILL_CHUNK_RECORDS):
-                pickle.dump(records[start : start + SPILL_CHUNK_RECORDS], handle)
+            write_stream(handle, entry.dataset)
         entry.dataset = None
         entry.path = path
         self.spills += 1
         current_tracer().count("cache.spills")
+
+    def export_source(self, key: CacheKey) -> Any:
+        """The cached entry in its cheapest exportable shape, or ``None``.
+
+        Used by the process pool's dataset handoff: a resident entry
+        returns its :class:`DataSet` (to be serialized once into shared
+        memory), a spilled entry its :class:`SpilledDatasetSource` (the
+        spill file ships as a path — zero new bytes).  Unlike
+        :meth:`get_source`, this touches neither the counters nor the
+        LRU order: exporting is bookkeeping, not a consumer request, so
+        it must not skew the hit/miss deltas reports attach to runs.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            if entry.resident:
+                return entry.dataset
+            return SpilledDatasetSource(
+                path=entry.path,
+                name=entry.name,
+                data_type=entry.data_type,
+                metadata=entry.metadata,
+                num_records=entry.num_records,
+            )
 
     def peek(self, key: CacheKey) -> DataSet | None:
         """The cached entry, without touching counters or LRU order.

@@ -12,6 +12,7 @@ from repro.execution.parallel import (
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
+    compute_chunksize,
     resolve_executor,
 )
 from repro.execution.report import (
@@ -35,6 +36,12 @@ from repro.execution.runner import (
     RunTask,
     TestRunner,
 )
+from repro.execution.workers import (
+    TaskDescriptor,
+    WorkerInit,
+    WorkerPool,
+    WorkerPoolError,
+)
 
 __all__ = [
     "BenchmarkHarness",
@@ -51,11 +58,16 @@ __all__ = [
     "SweepPoint",
     "SweepReport",
     "SystemConfiguration",
+    "TaskDescriptor",
     "TaskTimeoutError",
     "TestRunner",
     "ThreadExecutor",
+    "WorkerInit",
+    "WorkerPool",
+    "WorkerPoolError",
     "ascii_table",
     "call_with_timeout",
+    "compute_chunksize",
     "default_configurations",
     "markdown_table",
     "prepare_input",

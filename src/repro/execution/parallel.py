@@ -51,6 +51,28 @@ def default_max_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+#: Target task submissions per worker per batch for chunked submission:
+#: small enough to keep workers load-balanced, large enough to amortize
+#: the per-submission pipe round-trip.
+SUBMISSIONS_PER_WORKER = 4
+
+
+def compute_chunksize(
+    num_items: int, max_workers: int, per_worker: int = SUBMISSIONS_PER_WORKER
+) -> int:
+    """Tasks per pool submission for a batch of ``num_items``.
+
+    ``chunksize=1`` (the stdlib default) costs one pipe round-trip per
+    task; for sweeps of many cheap tasks that IPC dominates the runtime.
+    Aim for ``per_worker`` submissions per worker so a batch still
+    load-balances across the pool while round-trips stay bounded.
+    """
+    if num_items <= 0:
+        return 1
+    slots = max(1, max_workers) * per_worker
+    return max(1, -(-num_items // slots))
+
+
 class ParallelExecutor(ABC):
     """Maps a function over items, returning results in submission order.
 
@@ -111,7 +133,13 @@ class _PoolBackedExecutor(ParallelExecutor):
             return [fn(item) for item in items]
         if self._pool is None:
             self._pool = self._make_pool()
-        return list(self._pool.map(fn, items))
+        return list(
+            self._pool.map(fn, items, chunksize=self._chunksize(len(items)))
+        )
+
+    def _chunksize(self, num_items: int) -> int:
+        """Tasks per pool submission; backends override to batch."""
+        return 1
 
     def shutdown(self) -> None:
         if self._pool is not None:
@@ -151,6 +179,11 @@ class ProcessExecutor(_PoolBackedExecutor):
     def _make_pool(self) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(max_workers=self.max_workers)
 
+    def _chunksize(self, num_items: int) -> int:
+        # One pipe round-trip per task would dominate cheap tasks;
+        # batch submissions so IPC amortizes across the batch.
+        return compute_chunksize(num_items, self.max_workers)
+
 
 _BACKEND_CLASSES: dict[str, type[ParallelExecutor]] = {
     "serial": SerialExecutor,
@@ -166,10 +199,27 @@ def resolve_executor(
 
     ``None`` resolves to the serial backend, keeping callers that never
     asked for parallelism on the exact reference semantics.
+
+    An already-constructed executor is returned as-is — but passing
+    ``max_workers`` alongside one is a contradiction (the pool size was
+    fixed at construction), so a conflicting count raises instead of
+    being silently ignored.
     """
     if spec is None:
         return SerialExecutor()
     if isinstance(spec, ParallelExecutor):
+        configured = getattr(spec, "max_workers", None)
+        if (
+            max_workers is not None
+            and configured is not None
+            and configured != max_workers
+        ):
+            raise ExecutionError(
+                f"max_workers={max_workers} conflicts with the provided "
+                f"{type(spec).__name__} (max_workers={configured}); pass a "
+                "backend name to build a pool of that size, or construct "
+                "the executor with the desired worker count"
+            )
         return spec
     backend = _BACKEND_CLASSES.get(spec)
     if backend is None:

@@ -27,8 +27,10 @@ submission-order slot and lets the rest of the batch complete.
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 import time
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -37,6 +39,8 @@ from repro.core.metrics import MetricSuite
 from repro.core.prescription import Prescription
 from repro.core.results import RunResult, TaskFailure
 from repro.core.test_generator import PrescribedTest, TestGenerator
+from repro.datagen.cache import DatasetCache
+from repro.datagen.handoff import DatasetHandle
 from repro.engines.faults import fault_attempt
 from repro.execution.config import (
     SystemConfiguration,
@@ -47,7 +51,16 @@ from repro.execution.parallel import (
     EXECUTOR_BACKENDS,
     ParallelExecutor,
     default_backend,
+    default_max_workers,
     resolve_executor,
+)
+from repro.execution.workers import (
+    TaskDescriptor,
+    WorkerInit,
+    WorkerPool,
+    WorkerPoolError,
+    annotate_task_trace,
+    shipped_prescription,
 )
 from repro.execution.retry import (
     ON_ERROR_POLICIES,
@@ -55,6 +68,7 @@ from repro.execution.retry import (
     call_with_timeout,
 )
 from repro.observability import (
+    NULL_TRACER,
     Span,
     Tracer,
     current_tracer,
@@ -87,6 +101,11 @@ class RunnerOptions:
     executor: str = field(default_factory=default_backend)
     #: Worker count for the pooled backends; None means one per CPU.
     max_workers: int | None = None
+    #: Process backend only: keep a warm worker pool alive across
+    #: ``run_many`` calls (workers initialize once — runner, suite,
+    #: engines, dataset cache — then stream lightweight descriptors).
+    #: False restores the cold per-task-payload path.
+    warm_pool: bool = True
     #: What a task that exhausts its attempts does to the batch:
     #: "abort" re-raises (fail-fast, the historical semantics) while
     #: "continue" captures a TaskFailure and completes the batch.
@@ -206,6 +225,8 @@ class TestRunner:
         self.store = store
         self._executor: ParallelExecutor | None = None
         self._executor_key: tuple[str, int | None] | None = None
+        self._worker_pool: WorkerPool | None = None
+        self._worker_pool_key: tuple[str, int | None] | None = None
 
     # ------------------------------------------------------------------
 
@@ -227,10 +248,14 @@ class TestRunner:
         return self._executor
 
     def close(self) -> None:
-        """Release pooled executor workers, if any were created."""
+        """Release pooled executor workers and the warm worker pool."""
         if self._executor is not None:
             self._executor.shutdown()
             self._executor = None
+        if self._worker_pool is not None:
+            self._worker_pool.shutdown()
+            self._worker_pool = None
+            self._worker_pool_key = None
 
     def __enter__(self) -> "TestRunner":
         return self
@@ -429,8 +454,13 @@ class TestRunner:
         Results come back in submission order, so every backend is a
         drop-in replacement for the serial loop.  The thread backend
         shares this runner (and its dataset cache); the process backend
-        ships each task as a self-contained payload and rebuilds a
-        serial runner in the worker.
+        streams lightweight descriptors to a warm worker pool that is
+        kept alive across calls (see :mod:`repro.execution.workers`),
+        shipping data sets as shared-memory/spill-file handles or cache
+        fingerprints instead of pickled rows.  With
+        ``options.warm_pool`` off — or when the pool cannot be built —
+        it falls back to the cold path: each task a self-contained
+        payload, a fresh serial runner per task in the worker.
 
         The keyword-only arguments override the options' failure policy
         for this call: ``on_error`` selects abort/continue semantics,
@@ -471,22 +501,7 @@ class TestRunner:
                 for index, task in enumerate(tasks)
             ]
         elif self.options.executor == "process":
-            # The submit stamp crosses the process boundary, so it must
-            # be wall-clock time: perf_counter has a per-process epoch
-            # and deltas across processes are meaningless.
-            submitted_wall = time.time()
-            payloads = [
-                self._task_payload(
-                    task,
-                    policy=policy,
-                    on_error=on_error,
-                    task_index=index,
-                    submitted_wall=submitted_wall,
-                    trace=tracer.enabled,
-                )
-                for index, task in enumerate(tasks)
-            ]
-            outcomes = self.executor.map(_subprocess_run_task, payloads)
+            outcomes = self._run_many_process(tasks, policy, on_error, tracer)
         else:
             submitted = time.perf_counter()
             if not tracer.enabled:
@@ -635,6 +650,257 @@ class TestRunner:
     # Process-backend plumbing
     # ------------------------------------------------------------------
 
+    def _run_many_process(
+        self,
+        tasks: list[RunTask],
+        policy: RetryPolicy,
+        on_error: str,
+        tracer: Tracer,
+    ) -> list[RunOutcome]:
+        """Dispatch a batch to process workers: warm pool, cold fallback."""
+        if self.options.warm_pool:
+            try:
+                pool = self._ensure_worker_pool()
+            except WorkerPoolError:
+                # Unpicklable initializer state (e.g. a closure-bearing
+                # suite): degrade to the per-task-payload path, which
+                # handles that per component instead of per pool.
+                pool = None
+            if pool is not None:
+                return self._run_many_warm(
+                    pool, tasks, policy, on_error, tracer
+                )
+        return self._run_many_cold(tasks, policy, on_error, tracer)
+
+    def _worker_init(self) -> tuple[WorkerInit, str]:
+        """The pool initializer for the current runner state, plus its
+        content digest (the pool-identity half of the invalidation key).
+        """
+        suite: MetricSuite | None = self.suite
+        try:
+            pickle.dumps(suite)
+        except Exception:
+            suite = None
+        init = WorkerInit(
+            options={
+                "repeats": self.options.repeats,
+                "warmup_runs": self.options.warmup_runs,
+                "check_format": self.options.check_format,
+                "task_timeout": self.options.task_timeout,
+            },
+            suite=suite,
+            configurations=dict(self.configurations),
+            prewarm_engines=tuple(sorted(self.configurations)),
+        )
+        try:
+            payload = pickle.dumps(init)
+        except Exception as error:
+            raise WorkerPoolError(
+                f"worker initializer is not picklable: {error}"
+            ) from error
+        return init, hashlib.sha256(payload).hexdigest()
+
+    def _ensure_worker_pool(self) -> WorkerPool:
+        """The warm pool matching current options (rebuilt when stale).
+
+        The key pairs the initializer digest (options scalars, suite,
+        configurations) with ``max_workers``: mutating any of them
+        between ``run_many`` calls shuts the old pool down and builds a
+        fresh one, exactly like the ``executor`` property's behavior.
+        """
+        init, digest = self._worker_init()
+        key = (digest, self.options.max_workers)
+        if self._worker_pool is not None and self._worker_pool_key != key:
+            self._worker_pool.shutdown()
+            self._worker_pool = None
+        if self._worker_pool is None:
+            max_workers = self.options.max_workers or default_max_workers()
+            self._worker_pool = WorkerPool(init, max_workers)
+            self._worker_pool_key = key
+        return self._worker_pool
+
+    def _run_many_warm(
+        self,
+        pool: WorkerPool,
+        tasks: list[RunTask],
+        policy: RetryPolicy,
+        on_error: str,
+        tracer: Tracer,
+    ) -> list[RunOutcome]:
+        """The warm path: lightweight descriptors to persistent workers."""
+        shipped_policy: RetryPolicy | None = policy
+        try:
+            pickle.dumps(policy)
+        except Exception:
+            shipped_policy = None
+        scalars = (
+            policy.max_attempts - 1,
+            policy.backoff_seconds,
+            policy.jitter,
+            policy.seed,
+        )
+        # Wall-clock, not perf_counter: the stamp crosses the process
+        # boundary and perf_counter epochs are per-process.
+        submitted_wall = time.time()
+        handles = self._dataset_handles(tasks, pool)
+        descriptors = []
+        for index, task in enumerate(tasks):
+            descriptors.append(
+                TaskDescriptor(
+                    prescription=self._shipped_task_prescription(task),
+                    engine_name=task.engine_name,
+                    volume_override=task.volume_override,
+                    overrides=dict(task.overrides),
+                    configuration=task.configuration,
+                    data_partitions=task.data_partitions,
+                    chunk_size=task.chunk_size,
+                    handle=handles[index],
+                    on_error=on_error,
+                    retry_policy=shipped_policy,
+                    retry_scalars=scalars,
+                    task_index=index,
+                    submitted_wall=submitted_wall,
+                    trace=tracer.enabled,
+                    pool_batch=pool.batches,
+                )
+            )
+        if tracer.enabled:
+            for descriptor in descriptors:
+                descriptor.payload_bytes = len(pickle.dumps(descriptor))
+            tracer.count("pool_reuse", pool.batches)
+        return pool.run_batch(descriptors)
+
+    def _run_many_cold(
+        self,
+        tasks: list[RunTask],
+        policy: RetryPolicy,
+        on_error: str,
+        tracer: Tracer,
+    ) -> list[RunOutcome]:
+        """The cold path: self-contained payloads, fresh worker runners."""
+        submitted_wall = time.time()
+        payloads = [
+            self._task_payload(
+                task,
+                policy=policy,
+                on_error=on_error,
+                task_index=index,
+                submitted_wall=submitted_wall,
+                trace=tracer.enabled,
+            )
+            for index, task in enumerate(tasks)
+        ]
+        if tracer.enabled:
+            for payload in payloads:
+                payload["payload_bytes"] = len(pickle.dumps(payload))
+        return self.executor.map(_subprocess_run_task, payloads)
+
+    def _resolved_prescription(self, task: RunTask) -> Prescription:
+        prescription = task.prescription
+        if isinstance(prescription, str):
+            return self.test_generator.repository.get(prescription)
+        return prescription
+
+    def _shipped_task_prescription(self, task: RunTask) -> Prescription | str:
+        """What the descriptor carries: a worker-resolvable name or value.
+
+        Resolution failures (unknown name) ship unchanged so the worker
+        raises them inside its attempt loop — where ``on_error`` policy
+        and failure capture apply, exactly like the serial path.
+        """
+        try:
+            return shipped_prescription(self._resolved_prescription(task))
+        except Exception:  # noqa: BLE001 - worker reports the real error
+            return task.prescription
+
+    def _dataset_key(self, task: RunTask) -> tuple | None:
+        """The cache key this task's data set lives under, or None.
+
+        Mirrors :meth:`TestGenerator.select_data` exactly — same key
+        tuple, same override precedence — so a shipped fingerprint is
+        guaranteed to match what the worker's own generation would
+        cache.  Streaming tasks (``chunk_size``) bypass the cache and
+        get no key; so does anything that fails to resolve here (the
+        worker will surface the real error with full context).
+        """
+        if task.chunk_size is not None:
+            return None
+        try:
+            requirement = self._resolved_prescription(task).data
+            generator = self.test_generator.generators.create(
+                requirement.generator
+            )
+            volume = (
+                task.volume_override
+                if task.volume_override is not None
+                else requirement.volume
+            )
+            partitions = (
+                task.data_partitions
+                if task.data_partitions is not None
+                else requirement.num_partitions
+            )
+            return DatasetCache.make_key(
+                requirement.generator,
+                generator.seed,
+                volume,
+                partitions,
+                requirement.fit_on,
+            )
+        except Exception:  # noqa: BLE001 - worker reports the real error
+            return None
+
+    def _dataset_handles(
+        self, tasks: list[RunTask], pool: WorkerPool
+    ) -> list[DatasetHandle | None]:
+        """One handle per task (deduplicated per dataset key).
+
+        Data already resident or spilled in the parent cache ships as
+        bytes — serialized once per pool into shared memory, or
+        referenced as the existing spill file.  A key missing from the
+        cache that two or more tasks share is generated here first, so
+        the batch pays one generation instead of one per worker; a key
+        only one task needs ships as a bare fingerprint and that worker
+        regenerates (and caches) it locally.
+        """
+        cache = self.test_generator.dataset_cache
+        keys = [self._dataset_key(task) for task in tasks]
+        shared = Counter(key for key in keys if key is not None)
+        handle_by_key: dict[tuple, DatasetHandle] = {}
+        for task, key in zip(tasks, keys):
+            if key is None or key in handle_by_key:
+                continue
+            if cache is None:
+                handle_by_key[key] = pool.fingerprint_handle_for(key)
+                continue
+            source = cache.export_source(key)
+            if source is None and shared[key] > 1:
+                try:
+                    # Generate silently: task traces must keep one root
+                    # per task, and each worker's own select-data span
+                    # already accounts for this data set (as a hit).
+                    with NULL_TRACER.activate():
+                        self.test_generator.select_data(
+                            self._resolved_prescription(task).data,
+                            task.volume_override,
+                            task.data_partitions,
+                        )
+                except Exception:  # noqa: BLE001 - worker reports it
+                    pass
+                else:
+                    source = cache.export_source(key)
+            handle = None
+            if source is not None:
+                try:
+                    handle = pool.handle_for(key, source)
+                except Exception:  # noqa: BLE001 - unpicklable records
+                    handle = None
+            handle_by_key[key] = handle or pool.fingerprint_handle_for(key)
+        return [
+            handle_by_key.get(key) if key is not None else None
+            for key in keys
+        ]
+
     def _task_payload(
         self,
         task: RunTask,
@@ -760,10 +1026,15 @@ def _subprocess_run_task(payload: dict[str, Any]) -> RunOutcome:
         if submitted_wall is not None
         else 0.0
     )
-    return runner._run_task_traced(
+    outcome = runner._run_task_traced(
         task,
         payload.get("task_index", 0),
         policy,
         on_error,
         queue_wait=queue_wait,
     )
+    annotate_task_trace(
+        outcome.extra.get(TRACE_EXTRA_KEY),
+        payload_bytes=payload.get("payload_bytes"),
+    )
+    return outcome

@@ -72,9 +72,39 @@ class TestResolveExecutor:
         executor = SerialExecutor()
         assert resolve_executor(executor) is executor
 
+    def test_instance_with_matching_max_workers_passes_through(self):
+        executor = ThreadExecutor(max_workers=3)
+        assert resolve_executor(executor, max_workers=3) is executor
+
+    def test_instance_with_conflicting_max_workers_rejected(self):
+        executor = ThreadExecutor(max_workers=3)
+        with pytest.raises(ExecutionError, match="conflicts"):
+            resolve_executor(executor, max_workers=5)
+
+    def test_serial_instance_ignores_max_workers(self):
+        # Serial has no pool, so there is nothing to conflict with.
+        executor = SerialExecutor()
+        assert resolve_executor(executor, max_workers=5) is executor
+
     def test_unknown_backend_rejected(self):
         with pytest.raises(ExecutionError):
             resolve_executor("spark-cluster")
+
+
+class TestChunkedSubmission:
+    def test_process_backend_computes_chunksize(self):
+        executor = ProcessExecutor(max_workers=2)
+        assert executor._chunksize(80) == 10
+        assert executor._chunksize(2) == 1
+
+    def test_thread_backend_keeps_chunksize_one(self):
+        assert ThreadExecutor(max_workers=2)._chunksize(80) == 1
+
+    def test_chunked_process_map_preserves_order(self):
+        with ProcessExecutor(max_workers=2) as executor:
+            assert executor._chunksize(40) > 1
+            results = executor.map(_square, list(range(40)))
+        assert results == [x * x for x in range(40)]
 
 
 class TestExecutorOrdering:

@@ -1,0 +1,234 @@
+"""Tests for the warm process worker pool (``execution/workers.py``).
+
+Covers the pool's lifetime contract (reuse across ``run_many`` calls,
+invalidation when the options it was initialized from mutate, shutdown
+on ``close``), the dataset-shipping strategies (shared-bytes export for
+shared keys, fingerprint shipping with worker-side regeneration and
+cache hits), payload-size observability on traced runs, and the cold
+per-task-payload fallback.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.prescription import builtin_repository
+from repro.execution.parallel import compute_chunksize
+from repro.execution.runner import RunnerOptions, RunTask, TestRunner
+from repro.execution.workers import (
+    WorkerPool,
+    shipped_prescription,
+)
+from repro.observability import Tracer
+
+#: Two prescriptions that resolve to the *same* dataset-cache key (both
+#: sample the random-text generator at the same seed and volume), so a
+#: batch over them exercises the shared-key export path.
+SHARED_DATA_TASKS = [
+    RunTask("micro-wordcount", "mapreduce"),
+    RunTask("micro-sort", "mapreduce"),
+]
+
+#: Two prescriptions with *distinct* dataset keys, neither generated in
+#: the parent — each is a single-consumer key, so both ship as bare
+#: fingerprints and the workers regenerate deterministically.
+DISTINCT_DATA_TASKS = [
+    RunTask("micro-wordcount", "mapreduce"),
+    RunTask("database-aggregate-join", "mapreduce"),
+]
+
+
+def _process_runner(max_workers: int = 2, **options) -> TestRunner:
+    return TestRunner(
+        options=RunnerOptions(
+            executor="process", max_workers=max_workers, **options
+        )
+    )
+
+
+class TestPoolLifetime:
+    def test_pool_reused_across_run_many_calls(self):
+        with _process_runner() as runner:
+            runner.run_many(SHARED_DATA_TASKS)
+            pool = runner._worker_pool
+            assert isinstance(pool, WorkerPool)
+            assert pool.batches == 1
+            runner.run_many(SHARED_DATA_TASKS)
+            assert runner._worker_pool is pool
+            assert pool.batches == 2
+
+    def test_pool_invalidated_when_options_mutate(self):
+        with _process_runner() as runner:
+            runner.run_many(SHARED_DATA_TASKS)
+            stale = runner._worker_pool
+            runner.options.repeats = 2
+            runner.run_many(SHARED_DATA_TASKS)
+            fresh = runner._worker_pool
+            assert fresh is not stale
+            assert fresh.batches == 1
+
+    def test_pool_invalidated_when_max_workers_mutate(self):
+        with _process_runner(max_workers=2) as runner:
+            runner.run_many(SHARED_DATA_TASKS)
+            stale = runner._worker_pool
+            runner.options.max_workers = 1
+            runner.run_many(SHARED_DATA_TASKS)
+            assert runner._worker_pool is not stale
+            assert runner._worker_pool.max_workers == 1
+
+    def test_close_releases_pool_and_exports(self):
+        runner = _process_runner()
+        runner.run_many(SHARED_DATA_TASKS)
+        pool = runner._worker_pool
+        assert pool.exports  # the shared key shipped as bytes
+        runner.close()
+        assert runner._worker_pool is None
+        assert pool.exports == {}
+
+    def test_warm_pool_disabled_uses_cold_path(self):
+        with _process_runner(warm_pool=False) as runner:
+            outcomes = runner.run_many(SHARED_DATA_TASKS)
+            assert runner._worker_pool is None
+            assert [outcome.test_name for outcome in outcomes] == [
+                "micro-wordcount@mapreduce",
+                "micro-sort@mapreduce",
+            ]
+
+    def test_warm_and_cold_paths_agree_on_deterministic_metrics(self):
+        deterministic = [
+            "throughput", "ops_per_second", "data_rate",
+            "network_rate", "energy", "cost",
+        ]
+        with _process_runner() as warm:
+            warm_out = warm.run_many(SHARED_DATA_TASKS)
+        with _process_runner(warm_pool=False) as cold:
+            cold_out = cold.run_many(SHARED_DATA_TASKS)
+        for a, b in zip(warm_out, cold_out):
+            for name in deterministic:
+                assert a.mean(name) == b.mean(name)
+
+
+class TestDatasetShipping:
+    def test_shared_key_exports_bytes_once_workers_hit(self):
+        with _process_runner() as runner:
+            outcomes = runner.run_many(SHARED_DATA_TASKS)
+            pool = runner._worker_pool
+            # One dataset behind both tasks -> one export for the batch.
+            assert len(pool.exports) == 1
+            for outcome in outcomes:
+                cache_delta = outcome.extra["worker_cache"]
+                assert cache_delta["misses"] == 0
+                assert cache_delta["hits"] == 1
+
+    def test_fingerprint_ship_regenerates_then_hits_locally(self):
+        with _process_runner(max_workers=1) as runner:
+            first = runner.run_many(DISTINCT_DATA_TASKS)
+            pool = runner._worker_pool
+            # Single-consumer keys ship as fingerprints: no bytes exported.
+            assert pool.exports == {}
+            for outcome in first:
+                assert outcome.extra["worker_cache"]["misses"] == 1
+            # Same tasks again: the (single) worker's cache now holds
+            # both data sets, so the second batch is all hits.
+            second = runner.run_many(DISTINCT_DATA_TASKS)
+            assert runner._worker_pool is pool
+            for outcome in second:
+                cache_delta = outcome.extra["worker_cache"]
+                assert cache_delta["misses"] == 0
+                assert cache_delta["hits"] == 1
+
+    def test_worker_outcome_reports_pid_and_batch(self):
+        with _process_runner() as runner:
+            outcomes = runner.run_many(SHARED_DATA_TASKS)
+            for outcome in outcomes:
+                worker = outcome.extra["worker"]
+                assert worker["pid"] > 0
+                assert worker["pool_batch"] == 0
+            outcomes = runner.run_many(SHARED_DATA_TASKS)
+            for outcome in outcomes:
+                assert outcome.extra["worker"]["pool_batch"] == 1
+
+
+class TestTracedWarmPool:
+    def test_task_spans_carry_payload_bytes_and_pool_batch(self):
+        tracer = Tracer()
+        with _process_runner() as runner, tracer.activate():
+            with tracer.span("batch"):
+                runner.run_many(SHARED_DATA_TASKS)
+            with tracer.span("batch"):
+                outcomes = runner.run_many(SHARED_DATA_TASKS)
+        for outcome in outcomes:
+            assert "trace" not in outcome.extra
+            assert "trace_summary" in outcome.extra
+        first_batch, second_batch = tracer.roots()
+        for batch, expected_ordinal in ((first_batch, 0), (second_batch, 1)):
+            task_spans = [
+                child for child in batch.children if child.name == "task"
+            ]
+            assert len(task_spans) == len(SHARED_DATA_TASKS)
+            for span in task_spans:
+                assert span.attrs["payload_bytes"] > 0
+                # Descriptors are a fraction of the old self-contained
+                # payloads (~2KB of prescription+suite+configuration).
+                assert span.attrs["payload_bytes"] < 2000
+                assert span.attrs["pool_batch"] == expected_ordinal
+                assert span.counters["task.payload_bytes"] == (
+                    span.attrs["payload_bytes"]
+                )
+
+
+class TestShippedPrescription:
+    def test_builtin_prescription_ships_by_name(self):
+        prescription = builtin_repository().get("micro-wordcount")
+        assert shipped_prescription(prescription) == "micro-wordcount"
+
+    def test_modified_prescription_ships_by_value(self):
+        prescription = builtin_repository().get("micro-wordcount")
+        modified = dataclasses.replace(
+            prescription, data=dataclasses.replace(prescription.data, volume=7)
+        )
+        shipped = shipped_prescription(modified)
+        assert shipped is modified
+
+
+class TestComputeChunksize:
+    def test_small_batches_stay_unchunked(self):
+        assert compute_chunksize(0, 4) == 1
+        assert compute_chunksize(1, 4) == 1
+        assert compute_chunksize(16, 4) == 1
+
+    def test_large_batches_amortize_ipc(self):
+        assert compute_chunksize(64, 4) == 4
+        assert compute_chunksize(100, 1) == 25
+        assert compute_chunksize(101, 1) == 26
+
+    def test_respects_per_worker_target(self):
+        assert compute_chunksize(100, 2, per_worker=1) == 50
+
+
+class TestFailurePolicyOnWarmPool:
+    def test_unknown_prescription_captured_under_continue(self):
+        with _process_runner() as runner:
+            outcomes = runner.run_many(
+                [
+                    RunTask("micro-wordcount", "mapreduce"),
+                    RunTask("no-such-prescription", "mapreduce"),
+                ],
+                on_error="continue",
+            )
+            assert type(outcomes[0]).__name__ == "RunResult"
+            failure = outcomes[1]
+            assert type(failure).__name__ == "TaskFailure"
+            assert failure.error_type == "TestGenerationError"
+
+    def test_unknown_prescription_aborts_by_default(self):
+        with _process_runner() as runner:
+            with pytest.raises(Exception):
+                runner.run_many(
+                    [
+                        RunTask("micro-wordcount", "mapreduce"),
+                        RunTask("no-such-prescription", "mapreduce"),
+                    ]
+                )

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro import BigDataBenchmark
+from repro import BigDataBenchmark, api
 from repro.core import registry
 from repro.core.operations import operations
 from repro.core.patterns import MultiOperationPattern
@@ -89,8 +89,11 @@ def main() -> None:
         metric_names=["duration", "throughput", "ops_per_second"],
     )
 
-    # 3. Run it through the unchanged five-step process.
-    report = benchmark.run("micro-distinct-words")
+    # 3. Run it through the unchanged five-step process — via the
+    #    blessed facade, pointing it at the repository that now holds
+    #    the custom prescription.
+    repository = benchmark.function_layer.test_generator.repository
+    report = api.run("micro-distinct-words", repository=repository)
     result = report.results[0]
     print("New workload ran through the standard process:")
     for step in report.steps:

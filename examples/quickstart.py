@@ -1,30 +1,23 @@
-"""Quickstart: run a benchmark through the three-layer facade.
+"""Quickstart: run a benchmark through the blessed ``repro.api`` facade.
 
 Demonstrates the paper's five-step benchmarking process (Figure 1) in a
-dozen lines: pick a prescription, run it, read the per-step audit trail
-and the metric report.
+dozen lines — synchronously via :func:`repro.api.run`, then as a
+service job via :class:`repro.api.ServiceClient`.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import BigDataBenchmark
+from repro import api
 from repro.execution.report import render_results
 
 
 def main() -> None:
-    benchmark = BigDataBenchmark()
+    # Run WordCount, three repeats, through the five-step process.
+    report = api.run("micro-wordcount", volume=300, repeats=3)
 
-    print("Available prescriptions:")
-    for name in benchmark.user_interface.available_prescriptions():
-        prescription = benchmark.prescription(name)
-        print(f"  {name:32s} [{prescription.domain}] -> {prescription.workload}")
-
-    # Run WordCount on the MapReduce engine, three repeats.
-    report = benchmark.run("micro-wordcount", volume=300, repeats=3)
-
-    print("\nFive-step process (Figure 1):")
+    print("Five-step process (Figure 1):")
     for step in report.steps:
         print(f"  {step.step:22s} {step.elapsed_seconds * 1e3:8.2f} ms")
 
@@ -36,6 +29,18 @@ def main() -> None:
     ranking = report.step("analysis-evaluation").detail["ranking"]
     engine, duration = ranking[0]
     print(f"\nFastest engine: {engine} ({duration:.4f}s mean duration)")
+
+    # The same benchmark as a *job*: submitted to the in-process
+    # service, admitted through the bounded queue, executed by a
+    # scheduler thread, and fetched back through the handle.
+    with api.serve(schedulers=2) as client:
+        handle = client.submit(
+            api.BenchmarkSpec("micro-wordcount", volume=300, repeats=3)
+        )
+        job = handle.wait()
+    print(f"\nService job {job.job_id}: {job.state} "
+          f"({len(job.outcomes)} outcome(s), "
+          f"queue wait {job.queue_wait_seconds():.3f}s)")
 
 
 if __name__ == "__main__":

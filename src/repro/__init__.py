@@ -17,14 +17,23 @@ A complete, executable big-data-benchmarking framework:
 * **suite models** that regenerate the paper's Table 1 and Table 2
   (:mod:`repro.suites`).
 
-Quickstart::
+The one blessed public surface is :mod:`repro.api` (re-exported here):
+``BenchmarkSpec``, ``run``, ``sweep``, ``ServiceClient``, ``compare``,
+``gate``.  Quickstart::
 
-    from repro import BigDataBenchmark
+    from repro.api import run
 
-    benchmark = BigDataBenchmark()
-    report = benchmark.run("micro-wordcount", repeats=3)
+    report = run("micro-wordcount", repeats=3)
     for result in report.results:
         print(result.engine, result.mean("throughput"))
+
+or, as a service (async jobs, admission control, job log)::
+
+    from repro.api import BenchmarkSpec, ServiceClient
+
+    with ServiceClient() as client:
+        handle = client.submit(BenchmarkSpec("micro-wordcount", volume=200))
+        print(handle.wait().state, handle.result())
 """
 
 from repro.bootstrap import register_default_components
@@ -61,14 +70,24 @@ from repro.core.results import (  # noqa: E402
     TaskFailure,
     split_outcomes,
 )
-from repro.core.spec import BenchmarkSpec  # noqa: E402
+from repro.core.spec import SPEC_VERSION, BenchmarkSpec  # noqa: E402
 from repro.core.test_generator import PrescribedTest, TestGenerator  # noqa: E402
 from repro.datagen.base import DataSet, DataType  # noqa: E402
 from repro.observability import Span, Tracer, current_tracer, trace_span  # noqa: E402
+from repro.service import (  # noqa: E402
+    AdmissionError,
+    Job,
+    JobHandle,
+    Orchestrator,
+    ServiceClient,
+)
+from repro import api  # noqa: E402
+from repro.api import compare, gate, run, serve, sweep  # noqa: E402
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "AdmissionError",
     "BaselineManager",
     "BenchmarkSpec",
     "BenchmarkingProcess",
@@ -84,8 +103,11 @@ __all__ = [
     "DataType",
     "ExecutionLayer",
     "FunctionLayer",
+    "Job",
+    "JobHandle",
     "MetricKind",
     "MetricSuite",
+    "Orchestrator",
     "PrescribedTest",
     "Prescription",
     "PrescriptionRepository",
@@ -94,15 +116,23 @@ __all__ = [
     "ResultAnalyzer",
     "RunEvidence",
     "RunResult",
+    "SPEC_VERSION",
+    "ServiceClient",
     "Span",
     "TaskFailure",
     "TestGenerator",
     "Tracer",
     "UserInterfaceLayer",
+    "api",
     "builtin_repository",
+    "compare",
     "current_tracer",
+    "gate",
     "register_default_components",
+    "run",
+    "serve",
     "split_outcomes",
+    "sweep",
     "trace_span",
     "__version__",
 ]

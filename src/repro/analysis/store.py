@@ -26,6 +26,7 @@ import json
 import os
 import platform
 import subprocess
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -43,6 +44,9 @@ DEFAULT_STORE_DIR = ".repro-runs"
 #: The ``RunResult.extra`` / ``TaskFailure.extra`` key a freshly
 #: recorded outcome's id is echoed under.
 RECORD_ID_EXTRA_KEY = "record_id"
+
+#: Serializes record-id assignment across every store in this process.
+_APPEND_LOCK = threading.Lock()
 
 
 def fingerprint_hash(fingerprint: dict[str, Any]) -> str:
@@ -248,18 +252,27 @@ class RunStore:
 
         if trace_summary is None:
             trace_summary = outcome.extra.get(TRACE_SUMMARY_KEY)
-        record = RunRecord(
-            record_id=f"r{len(self.records()) + 1:04d}",
-            series=fingerprint_hash(fingerprint),
-            created_at=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-            fingerprint=dict(fingerprint),
-            environment=environment or environment_fingerprint(),
-            result=outcome.as_dict(),
-            trace_summary=trace_summary,
-        )
-        self.root.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record.as_dict(), default=str) + "\n")
+        # Record ids derive from the current file length, so the
+        # read-then-append must be atomic within the process — the
+        # service's scheduler threads record concurrently (the lock is
+        # process-wide: independent RunStore instances share files).
+        with _APPEND_LOCK:
+            record = RunRecord(
+                record_id=f"r{len(self.records()) + 1:04d}",
+                series=fingerprint_hash(fingerprint),
+                created_at=time.strftime(
+                    "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+                ),
+                fingerprint=dict(fingerprint),
+                environment=environment or environment_fingerprint(),
+                result=outcome.as_dict(),
+                trace_summary=trace_summary,
+            )
+            self.root.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(
+                    json.dumps(record.as_dict(), default=str) + "\n"
+                )
         outcome.extra[RECORD_ID_EXTRA_KEY] = record.record_id
         return record
 

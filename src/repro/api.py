@@ -1,0 +1,201 @@
+"""The one blessed public surface of the framework.
+
+Everything a system owner needs, in one flat namespace::
+
+    from repro.api import BenchmarkSpec, ServiceClient, run, sweep, compare, gate
+
+* :class:`BenchmarkSpec` — what to benchmark (versioned, serializable);
+* :func:`run` — one spec through the five-step process, synchronously;
+* :func:`sweep` — a prescription across volumes or parameter values;
+* :class:`ServiceClient` / :func:`serve` — submit, watch, fetch, and
+  cancel jobs against the async orchestrator (benchmark as a service);
+* :func:`compare` — statistical comparison of two recorded runs;
+* :func:`gate` — regression gate against a promoted baseline.
+
+These six names are the supported API.  Deeper modules
+(:mod:`repro.execution`, :mod:`repro.engines`, :mod:`repro.datagen`,
+...) remain importable for extension work, but scattered ad-hoc entry
+points are deprecated in favor of this facade.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analysis.baselines import BaselineManager
+from repro.analysis.compare import (
+    DEFAULT_TOLERANCE,
+    Comparison,
+    compare_records,
+)
+from repro.analysis.gate import GateReport, check_regressions
+from repro.analysis.store import RunRecord, RunStore, resolve_store_dir
+from repro.core.prescription import PrescriptionRepository
+from repro.core.process import ProcessReport
+from repro.core.spec import SPEC_VERSION, BenchmarkSpec
+from repro.execution.harness import BenchmarkHarness, SweepReport
+from repro.observability import Tracer
+from repro.service import (
+    AdmissionError,
+    Job,
+    JobHandle,
+    Orchestrator,
+    ServiceClient,
+)
+
+
+def run(
+    spec: BenchmarkSpec | str,
+    *,
+    repository: PrescriptionRepository | None = None,
+    tracer: Tracer | None = None,
+    **options: Any,
+) -> ProcessReport:
+    """Run one benchmark through the five-step process, synchronously.
+
+    ``spec`` is a :class:`BenchmarkSpec` or a prescription name (with
+    spec fields as keyword ``options``).  Returns the full
+    :class:`~repro.core.process.ProcessReport` audit trail.  For async
+    submission, quotas, and job lifecycles, use :class:`ServiceClient`.
+    """
+    from repro.core.layers import BigDataBenchmark
+
+    framework = BigDataBenchmark(repository=repository)
+    return framework.run(spec, tracer=tracer, **options)
+
+
+def sweep(
+    prescription: str,
+    engine: str,
+    *,
+    volumes: list[int] | None = None,
+    parameter: str | None = None,
+    values: list[Any] | None = None,
+    repository: PrescriptionRepository | None = None,
+    **overrides: Any,
+) -> SweepReport:
+    """Sweep one prescription on one engine across volumes or a parameter.
+
+    Exactly one axis: pass ``volumes=[...]`` for a volume sweep, or
+    ``parameter="name", values=[...]`` for a workload-parameter sweep.
+    Extra keyword arguments are fixed workload overrides applied to
+    every point.
+    """
+    from repro.core.errors import SpecError
+    from repro.core.test_generator import TestGenerator
+    from repro.execution.runner import TestRunner
+
+    if (volumes is None) == (parameter is None or values is None):
+        raise SpecError(
+            "sweep needs exactly one axis: volumes=[...], or "
+            "parameter=... with values=[...]"
+        )
+    runner = TestRunner(
+        test_generator=TestGenerator(repository) if repository else None
+    )
+    harness = BenchmarkHarness(runner)
+    try:
+        if volumes is not None:
+            return harness.volume_sweep(
+                prescription, engine, volumes, **overrides
+            )
+        return harness.param_sweep(
+            prescription, engine, parameter, values, **overrides
+        )
+    finally:
+        runner.close()
+
+
+def compare(
+    baseline: str | RunRecord,
+    candidate: str | RunRecord,
+    *,
+    store_dir: str | None = None,
+    metrics: list[str] | None = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    **options: Any,
+) -> Comparison:
+    """Statistically compare two recorded runs from the run store.
+
+    ``baseline``/``candidate`` are store references (record id, unique
+    prefix, series key, or ``"latest"``) or already-loaded records.
+    """
+    store = RunStore(resolve_store_dir(store_dir))
+    baseline_record = (
+        baseline if isinstance(baseline, RunRecord) else store.get(baseline)
+    )
+    candidate_record = (
+        candidate
+        if isinstance(candidate, RunRecord)
+        else store.get(candidate)
+    )
+    return compare_records(
+        baseline_record,
+        candidate_record,
+        metrics=metrics,
+        tolerance=tolerance,
+        **options,
+    )
+
+
+def gate(
+    baseline: str,
+    candidate: str | RunRecord | None = None,
+    *,
+    store_dir: str | None = None,
+    metrics: list[str] | None = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    **options: Any,
+) -> GateReport:
+    """Check a candidate run against a promoted baseline (CI gate).
+
+    ``baseline`` is a baseline *name* (see
+    :class:`~repro.analysis.baselines.BaselineManager`); the report's
+    ``exit_code`` is 0 on pass, 1 on regression.
+    """
+    store = RunStore(resolve_store_dir(store_dir))
+    return check_regressions(
+        store,
+        baseline,
+        candidate,
+        metrics=metrics,
+        tolerance=tolerance,
+        **options,
+    )
+
+
+def serve(**options: Any) -> ServiceClient:
+    """Start a benchmark service and return its client.
+
+    Keyword arguments configure the underlying
+    :class:`~repro.service.Orchestrator` (``schedulers``, ``store_dir``,
+    ``queue``, ``tracer``, ...).  Use as a context manager so queued
+    jobs drain on exit::
+
+        with serve(schedulers=4) as client:
+            handle = client.submit("micro-wordcount")
+    """
+    return ServiceClient(**options)
+
+
+__all__ = [
+    "AdmissionError",
+    "BaselineManager",
+    "BenchmarkSpec",
+    "Comparison",
+    "GateReport",
+    "Job",
+    "JobHandle",
+    "Orchestrator",
+    "ProcessReport",
+    "RunRecord",
+    "RunStore",
+    "SPEC_VERSION",
+    "ServiceClient",
+    "SweepReport",
+    "compare",
+    "gate",
+    "run",
+    "serve",
+    "sweep",
+]

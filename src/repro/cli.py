@@ -15,9 +15,16 @@ so the framework ships a CLI::
     repro-bench baseline promote latest main
     repro-bench compare r0001 r0002       # statistical comparison
     repro-bench gate --baseline main      # exit 1 on regression (CI)
+    repro-bench submit micro-wordcount --record       # one job via the service
+    repro-bench serve --spec-file batch.json          # a batch of jobs
+    repro-bench jobs list                 # audit the service job log
 
-Every command is also callable in-process via :func:`main` (what the
-tests do).
+The store/executor flags (``--store-dir``, ``--record``, ``--executor``,
+``--workers``) are shared parent parsers, so they spell the same on
+``run``, ``compare``, ``gate``, and the job verbs; the historical
+spellings (``--store``, ``--backend``, ``--max-workers``) remain hidden
+aliases.  Every command is also callable in-process via :func:`main`
+(what the tests do).
 """
 
 from __future__ import annotations
@@ -29,19 +36,69 @@ from collections.abc import Sequence
 from repro.core.errors import ReproError
 
 
+_EXECUTOR_CHOICES = ["serial", "thread", "process"]
+
+
+def _store_parent() -> argparse.ArgumentParser:
+    """Shared ``--store-dir`` flag (hidden legacy alias: ``--store``)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--store-dir", default=None, metavar="DIR",
+                        help="run-store directory (default: "
+                             "REPRO_STORE_DIR, else .repro-runs)")
+    # Hidden alias: SUPPRESS keeps it from clobbering the default above
+    # when absent, and out of --help when present.
+    parent.add_argument("--store", dest="store_dir",
+                        default=argparse.SUPPRESS, metavar="DIR",
+                        help=argparse.SUPPRESS)
+    return parent
+
+
+def _common_parent(
+    store_parent: argparse.ArgumentParser,
+) -> argparse.ArgumentParser:
+    """Store + execution flags shared by run/compare/gate/submit/serve.
+
+    Hidden legacy aliases: ``--backend`` (for ``--executor``) and
+    ``--max-workers`` (for ``--workers``).
+    """
+    parent = argparse.ArgumentParser(
+        add_help=False, parents=[store_parent]
+    )
+    parent.add_argument("--record", action="store_true",
+                        help="record outcomes into the persistent run "
+                             "store")
+    parent.add_argument("--executor", default="serial",
+                        choices=_EXECUTOR_CHOICES,
+                        help="fan-out backend for independent runs")
+    parent.add_argument("--backend", dest="executor",
+                        default=argparse.SUPPRESS,
+                        choices=_EXECUTOR_CHOICES,
+                        help=argparse.SUPPRESS)
+    parent.add_argument("--workers", type=int, default=None,
+                        help="worker count for the pooled executor "
+                             "backends (default: one per CPU)")
+    parent.add_argument("--max-workers", dest="workers", type=int,
+                        default=argparse.SUPPRESS,
+                        help=argparse.SUPPRESS)
+    return parent
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="A 4V-aware big data benchmarking framework "
         "(reproduction of Han & Lu, 'On Big Data Benchmarking', 2014).",
     )
+    store = _store_parent()
+    common = _common_parent(store)
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("list", help="list prescriptions, engines, "
                                      "generators, workloads, and formats")
 
     run_parser = commands.add_parser(
-        "run", help="run a prescription through the five-step process"
+        "run", parents=[common],
+        help="run a prescription through the five-step process",
     )
     run_parser.add_argument("prescription", help="prescription name")
     run_parser.add_argument("--engine", action="append", default=[],
@@ -57,12 +114,6 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "of this size (bounded memory); default "
                                  "is the REPRO_CHUNK_SIZE environment "
                                  "variable, else fully materialized")
-    run_parser.add_argument("--executor", default="serial",
-                            choices=["serial", "thread", "process"],
-                            help="fan-out backend for independent runs")
-    run_parser.add_argument("--workers", type=int, default=None,
-                            help="worker count for the pooled executor "
-                                 "backends (default: one per CPU)")
     run_parser.add_argument("--no-warm-pool", action="store_true",
                             help="process backend: ship each task as a "
                                  "self-contained payload to a fresh worker "
@@ -96,13 +147,6 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--repository", default=None,
                             help="load prescriptions from a JSON file "
                                  "instead of the built-in repository")
-    run_parser.add_argument("--record", action="store_true",
-                            help="record this run's outcomes into the "
-                                 "persistent run store")
-    run_parser.add_argument("--store-dir", default=None, metavar="DIR",
-                            help="run-store directory (implies --record; "
-                                 "default: REPRO_STORE_DIR, else "
-                                 ".repro-runs)")
     run_parser.add_argument("--history", action="store_true",
                             help="render the history style (per-metric "
                                  "sparklines from the run store) instead "
@@ -122,8 +166,9 @@ def _build_parser() -> argparse.ArgumentParser:
     runs_commands = runs_parser.add_subparsers(
         dest="runs_command", required=True
     )
-    runs_list = runs_commands.add_parser("list", help="list recorded runs")
-    runs_list.add_argument("--store-dir", default=None, metavar="DIR")
+    runs_list = runs_commands.add_parser(
+        "list", parents=[store], help="list recorded runs"
+    )
     runs_list.add_argument("--series", default=None, metavar="KEY",
                            help="only runs of this series (fingerprint "
                                 "hash prefix)")
@@ -131,18 +176,17 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="print only the newest record id "
                                 "(script-friendly)")
     runs_show = runs_commands.add_parser(
-        "show", help="show one recorded run in full"
+        "show", parents=[store], help="show one recorded run in full"
     )
     runs_show.add_argument("record", help="record id, unique prefix, "
                                           "series key, or 'latest'")
-    runs_show.add_argument("--store-dir", default=None, metavar="DIR")
 
     compare_parser = commands.add_parser(
-        "compare", help="statistically compare two recorded runs"
+        "compare", parents=[common],
+        help="statistically compare two recorded runs",
     )
     compare_parser.add_argument("baseline", help="baseline record reference")
     compare_parser.add_argument("candidate", help="candidate record reference")
-    compare_parser.add_argument("--store-dir", default=None, metavar="DIR")
     compare_parser.add_argument("--metric", action="append", default=[],
                                 help="metric(s) to compare (default: all "
                                      "shared)")
@@ -153,15 +197,15 @@ def _build_parser() -> argparse.ArgumentParser:
                                 help="emit the comparison as JSON")
 
     gate_parser = commands.add_parser(
-        "gate", help="check a candidate run against a baseline "
-                     "(exit 0 = pass, 1 = regression)"
+        "gate", parents=[common],
+        help="check a candidate run against a baseline "
+             "(exit 0 = pass, 1 = regression)",
     )
     gate_parser.add_argument("candidate", nargs="?", default=None,
                              help="candidate record reference (default: "
                                   "newest run in the baseline's series)")
     gate_parser.add_argument("--baseline", required=True, metavar="NAME",
                              help="promoted baseline name to gate against")
-    gate_parser.add_argument("--store-dir", default=None, metavar="DIR")
     gate_parser.add_argument("--metric", action="append", default=[],
                              help="metric(s) to gate on (default: all "
                                   "shared)")
@@ -180,21 +224,85 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="baseline_command", required=True
     )
     baseline_promote = baseline_commands.add_parser(
-        "promote", help="promote a recorded run to a named baseline"
+        "promote", parents=[store],
+        help="promote a recorded run to a named baseline",
     )
     baseline_promote.add_argument("record", help="record reference "
                                                  "(id/prefix/'latest')")
     baseline_promote.add_argument("name", help="baseline name")
-    baseline_promote.add_argument("--store-dir", default=None, metavar="DIR")
-    baseline_list = baseline_commands.add_parser(
-        "list", help="list promoted baselines"
+    baseline_commands.add_parser(
+        "list", parents=[store], help="list promoted baselines"
     )
-    baseline_list.add_argument("--store-dir", default=None, metavar="DIR")
     baseline_remove = baseline_commands.add_parser(
-        "remove", help="remove a named baseline (the record stays)"
+        "remove", parents=[store],
+        help="remove a named baseline (the record stays)",
     )
     baseline_remove.add_argument("name", help="baseline name")
-    baseline_remove.add_argument("--store-dir", default=None, metavar="DIR")
+
+    submit_parser = commands.add_parser(
+        "submit", parents=[common],
+        help="submit one benchmark job to the service and wait for it",
+    )
+    submit_parser.add_argument("prescription", help="prescription name")
+    submit_parser.add_argument("--engine", action="append", default=[],
+                               help="engine(s) to run on (default: all "
+                                    "supported)")
+    submit_parser.add_argument("--volume", type=int, default=None,
+                               help="data volume override")
+    submit_parser.add_argument("--repeats", type=int, default=1)
+    submit_parser.add_argument("--param", action="append", default=[],
+                               metavar="KEY=VALUE",
+                               help="workload parameter override")
+    submit_parser.add_argument("--priority", type=int, default=0,
+                               help="queue priority (higher drains first)")
+    submit_parser.add_argument("--client", default="cli",
+                               dest="client_name", metavar="NAME",
+                               help="client identity for admission quotas")
+    submit_parser.add_argument("--schedulers", type=int, default=2,
+                               help="scheduler threads for the "
+                                    "in-process service")
+    submit_parser.add_argument("--json", action="store_true",
+                               help="emit results as JSON")
+
+    serve_parser = commands.add_parser(
+        "serve", parents=[common],
+        help="run a batch of job specs through the service "
+             "(exit 0 = all done)",
+    )
+    serve_parser.add_argument("--spec-file", required=True, metavar="PATH",
+                              help="JSON file holding one versioned "
+                                   "BenchmarkSpec payload or a list of "
+                                   "them")
+    serve_parser.add_argument("--schedulers", type=int, default=2,
+                              help="scheduler threads draining the queue")
+    serve_parser.add_argument("--client", default="cli",
+                              dest="client_name", metavar="NAME",
+                              help="client identity for admission quotas")
+    serve_parser.add_argument("--quiet", action="store_true",
+                              help="suppress the live job-event lines")
+
+    jobs_parser = commands.add_parser(
+        "jobs", help="inspect the service job log"
+    )
+    jobs_commands = jobs_parser.add_subparsers(
+        dest="jobs_command", required=True
+    )
+    jobs_list = jobs_commands.add_parser(
+        "list", parents=[store], help="list logged jobs"
+    )
+    jobs_list.add_argument("--state", default=None,
+                           help="only jobs in this lifecycle state")
+    jobs_show = jobs_commands.add_parser(
+        "show", parents=[store], help="show one job's full lifecycle"
+    )
+    jobs_show.add_argument("job", help="job id or unique prefix")
+    jobs_cancel = jobs_commands.add_parser(
+        "cancel", parents=[store],
+        help="mark a non-terminal logged job cancelled (an orphan from "
+             "a dead service process; a live orchestrator is not "
+             "notified)",
+    )
+    jobs_cancel.add_argument("job", help="job id or unique prefix")
 
     export_parser = commands.add_parser(
         "export-prescriptions",
@@ -267,7 +375,9 @@ def _command_list(out) -> int:
 
 
 def _command_run(args, out) -> int:
-    from repro import BenchmarkSpec, BigDataBenchmark
+    from repro import api
+    from repro.core.prescription import builtin_repository
+    from repro.core.spec import BenchmarkSpec
     from repro.execution.report import render_results, render_trace
     from repro.observability import NULL_TRACER, Tracer
 
@@ -280,7 +390,6 @@ def _command_run(args, out) -> int:
         repository = repository_from_json(
             Path(args.repository).read_text()
         )
-    framework = BigDataBenchmark(repository=repository)
     # --chunk-size overrides the REPRO_CHUNK_SIZE default; when the flag
     # is absent the spec's default_factory reads the environment.
     spec_overrides = {}
@@ -310,7 +419,7 @@ def _command_run(args, out) -> int:
     )
     tracing = args.trace or args.trace_out is not None
     tracer = Tracer() if tracing else NULL_TRACER
-    report = framework.run(spec, tracer=tracer)
+    report = api.run(spec, repository=repository, tracer=tracer)
     if args.trace_out is not None:
         from pathlib import Path
 
@@ -328,7 +437,8 @@ def _command_run(args, out) -> int:
         print(f"dataset cache: {cache_stats['hits']} hits, "
               f"{cache_stats['misses']} misses", file=out)
     metric_names = (
-        framework.prescription(args.prescription).metric_names
+        (repository or builtin_repository()).get(args.prescription)
+        .metric_names
         or ["duration", "throughput"]
     )
     if args.history:
@@ -667,6 +777,192 @@ def _command_export(args, out) -> int:
     return 0
 
 
+def _submit_spec(args):
+    """A BenchmarkSpec from the shared run/submit flag set."""
+    from repro.core.spec import BenchmarkSpec
+
+    return BenchmarkSpec(
+        prescription=args.prescription,
+        engines=list(args.engine),
+        volume=args.volume,
+        repeats=args.repeats,
+        params=_parse_params(args.param),
+        executor=args.executor,
+        max_workers=args.workers,
+        record=args.record,
+        store_dir=args.store_dir,
+    )
+
+
+def _print_job_summary(jobs, out) -> None:
+    from repro.execution.report import ascii_table
+
+    print(
+        ascii_table(
+            [
+                {
+                    "job": job.job_id,
+                    "state": job.state,
+                    "client": job.client,
+                    "prescription": job.spec.prescription,
+                    "wait_s": (
+                        f"{job.queue_wait_seconds():.3f}"
+                        if job.queue_wait_seconds() is not None
+                        else "-"
+                    ),
+                    "records": ",".join(job.record_ids) or "-",
+                    "failures": job.failure_count,
+                }
+                for job in jobs
+            ]
+        ),
+        file=out,
+    )
+
+
+def _command_submit(args, out) -> int:
+    from repro.api import ServiceClient
+    from repro.execution.report import render_results
+
+    spec = _submit_spec(args)
+    with ServiceClient(
+        schedulers=args.schedulers, store_dir=args.store_dir
+    ) as service:
+        handle = service.submit(
+            spec, client=args.client_name, priority=args.priority
+        )
+        # Status chatter must not corrupt machine output: stdout is
+        # reserved for the JSON document under --json.
+        print(f"submitted {handle.job_id}",
+              file=sys.stderr if args.json else out)
+        job = handle.wait()
+    if job.state != "done":
+        print(
+            f"job {job.job_id} {job.state}"
+            + (
+                f": {job.error_type}: {job.error_message}"
+                if job.error_type
+                else ""
+            ),
+            file=out,
+        )
+        return 1
+    if args.json:
+        print(render_results(job.outcomes, style="json"), file=out)
+    else:
+        print(render_results(job.outcomes), file=out)
+        _print_job_summary([job], out)
+    return 0
+
+
+def _command_serve(args, out) -> int:
+    import dataclasses
+    import json as json_module
+    from pathlib import Path
+
+    from repro.api import BenchmarkSpec, ServiceClient
+
+    payloads = json_module.loads(Path(args.spec_file).read_text())
+    if isinstance(payloads, dict):
+        payloads = [payloads]
+    specs = [BenchmarkSpec.from_dict(payload) for payload in payloads]
+    # The shared flags act as batch-wide overrides on top of whatever
+    # each payload says (the executor default can't be distinguished
+    # from an explicit "serial", so only a non-default value overrides).
+    overrides = {}
+    if args.record:
+        overrides["record"] = True
+    if args.workers is not None:
+        overrides["max_workers"] = args.workers
+    if args.executor != "serial":
+        overrides["executor"] = args.executor
+    if overrides:
+        specs = [
+            dataclasses.replace(spec, **overrides) for spec in specs
+        ]
+
+    def _echo(event) -> None:
+        if not args.quiet:
+            print(f"  [{event.at:.3f}] {event.job_id} -> {event.state}",
+                  file=out)
+
+    with ServiceClient(
+        schedulers=args.schedulers, store_dir=args.store_dir
+    ) as service:
+        service.subscribe(_echo)
+        handles = [
+            service.submit(spec, client=args.client_name)
+            for spec in specs
+        ]
+        print(f"submitted {len(handles)} job(s) "
+              f"({args.schedulers} scheduler(s))", file=out)
+        jobs = [handle.wait() for handle in handles]
+    _print_job_summary(jobs, out)
+    done = sum(1 for job in jobs if job.state == "done")
+    print(f"{done}/{len(jobs)} job(s) done", file=out)
+    return 0 if done == len(jobs) else 1
+
+
+def _job_log(args):
+    from pathlib import Path
+
+    from repro.analysis.store import resolve_store_dir
+    from repro.service.jobs import JobLog
+
+    return JobLog(Path(resolve_store_dir(getattr(args, "store_dir", None))))
+
+
+def _command_jobs(args, out) -> int:
+    import time as time_module
+
+    log = _job_log(args)
+    if args.jobs_command == "list":
+        jobs = list(log.replay().values())
+        if args.state:
+            jobs = [job for job in jobs if job.state == args.state]
+        if not jobs:
+            print(f"(no jobs logged under {log.path})", file=out)
+            return 0
+        _print_job_summary(jobs, out)
+        return 0
+    job = log.get(args.job)
+    if args.jobs_command == "cancel":
+        if job.terminal:
+            print(
+                f"error: job {job.job_id} is already {job.state}",
+                file=sys.stderr,
+            )
+            return 2
+        job.transition("cancelled")
+        log.append(job, "cancelled",
+                   detail={"reason": "cancelled offline via CLI"})
+        print(f"cancelled {job.job_id} (log updated)", file=out)
+        return 0
+    print(f"job:         {job.job_id}", file=out)
+    print(f"state:       {job.state}", file=out)
+    print(f"client:      {job.client} (priority {job.priority})", file=out)
+    print(f"spec:        {job.spec.prescription} "
+          f"engines={job.spec.engines or 'all'} "
+          f"volume={job.spec.volume} repeats={job.spec.repeats} "
+          f"executor={job.spec.executor}", file=out)
+    print(f"queue depth: {job.queue_depth_at_submit} at submit", file=out)
+    print("history:", file=out)
+    for state, at in job.history:
+        stamp = time_module.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time_module.gmtime(at)
+        )
+        print(f"  {stamp}  {state}", file=out)
+    if job.error_type:
+        print(f"error:       {job.error_type}: {job.error_message}",
+              file=out)
+    if job.record_ids:
+        print(f"records:     {', '.join(job.record_ids)}", file=out)
+    if job.failure_count:
+        print(f"failures:    {job.failure_count} captured task "
+              f"failure(s)", file=out)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -692,6 +988,12 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _command_gate(args, out)
         if args.command == "baseline":
             return _command_baseline(args, out)
+        if args.command == "submit":
+            return _command_submit(args, out)
+        if args.command == "serve":
+            return _command_serve(args, out)
+        if args.command == "jobs":
+            return _command_jobs(args, out)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -57,3 +57,8 @@ class MetricError(ReproError):
 class AnalysisError(ReproError):
     """The result-analysis subsystem could not complete a request
     (missing record, unknown baseline, empty series, corrupt store)."""
+
+
+class ServiceError(ReproError):
+    """The benchmark service could not satisfy a request (unknown job,
+    invalid state transition, failed job result, shutdown race)."""

@@ -9,11 +9,62 @@ eagerly so misconfiguration fails at the Planning step, not mid-run.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from collections.abc import Callable
+from dataclasses import dataclass, field, fields
+from typing import Any
 
 from repro.core import registry
 from repro.core.errors import SpecError
 from repro.core.prescription import PrescriptionRepository
+
+#: The schema version :meth:`BenchmarkSpec.as_dict` stamps on every
+#: serialized spec.  Version 1 is the historical, implicitly-versioned
+#: schema (payloads with no ``spec_version`` field — e.g. specs embedded
+#: in job logs or run-store sidecars written before versioning landed);
+#: version 2 added the explicit field.  Bump this when a field is
+#: renamed or its meaning changes, and register a migration.
+SPEC_VERSION = 2
+
+#: Migration hooks: ``version -> fn(payload) -> payload`` upgrading a
+#: serialized spec from ``version`` to ``version + 1``.
+_SPEC_MIGRATIONS: dict[int, Callable[[dict[str, Any]], dict[str, Any]]] = {}
+
+
+def register_spec_migration(
+    version: int, migrate: Callable[[dict[str, Any]], dict[str, Any]]
+) -> None:
+    """Register the payload migration from ``version`` to ``version + 1``.
+
+    :meth:`BenchmarkSpec.from_dict` chains registered migrations until
+    the payload reaches :data:`SPEC_VERSION`, so stored jobs and
+    recorded specs keep round-tripping across future schema changes.
+    Registering a version twice raises (a silent overwrite would make
+    stored-spec decoding depend on import order).
+    """
+    if version in _SPEC_MIGRATIONS:
+        raise SpecError(
+            f"a spec migration for version {version} is already registered"
+        )
+    _SPEC_MIGRATIONS[version] = migrate
+
+
+def _migrate_v1(payload: dict[str, Any]) -> dict[str, Any]:
+    """Version 1 → 2: the pre-versioning schema.
+
+    Early serializations (CLI-era job sketches) spelled the engine list
+    as a single ``"engine"`` string; normalize it, and accept a bare
+    string under ``"engines"`` too.
+    """
+    payload = dict(payload)
+    engine = payload.pop("engine", None)
+    if engine is not None and "engines" not in payload:
+        payload["engines"] = [engine] if isinstance(engine, str) else engine
+    if isinstance(payload.get("engines"), str):
+        payload["engines"] = [payload["engines"]]
+    return payload
+
+
+register_spec_migration(1, _migrate_v1)
 
 
 def _env_chunk_size() -> int | None:
@@ -100,6 +151,67 @@ class BenchmarkSpec:
     def should_record(self) -> bool:
         """Whether this run's outcomes land in the run store."""
         return self.record or self.store_dir is not None
+
+    # -- serialization (versioned) ----------------------------------------
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-friendly payload stamped with :data:`SPEC_VERSION`.
+
+        Everything the spec carries, with containers copied so mutating
+        the payload never aliases the live spec.  The inverse of
+        :meth:`from_dict`, round-tripping exactly.
+        """
+        payload: dict[str, Any] = {"spec_version": SPEC_VERSION}
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            if isinstance(value, (list, dict)):
+                value = type(value)(value)
+            payload[spec_field.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "BenchmarkSpec":
+        """Rebuild a spec from a serialized payload of any known version.
+
+        A payload without ``spec_version`` is the historical version-1
+        schema; older versions are upgraded through the registered
+        migration chain (see :func:`register_spec_migration`) before
+        construction, so job logs and exported specs written by earlier
+        releases keep loading.  Unknown keys that survive migration are
+        rejected — a typo'd field silently ignored would mean a spec
+        that runs the wrong benchmark.
+        """
+        payload = dict(payload)
+        raw_version = payload.pop("spec_version", 1)
+        try:
+            version = int(raw_version)
+        except (TypeError, ValueError):
+            raise SpecError(
+                f"spec_version must be an integer, got {raw_version!r}"
+            ) from None
+        if version > SPEC_VERSION:
+            raise SpecError(
+                f"spec_version {version} is newer than this release "
+                f"understands (latest: {SPEC_VERSION})"
+            )
+        while version < SPEC_VERSION:
+            migrate = _SPEC_MIGRATIONS.get(version)
+            if migrate is None:
+                raise SpecError(
+                    f"no migration registered from spec_version {version}"
+                )
+            payload = dict(migrate(payload))
+            version += 1
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise SpecError(
+                f"spec payload has unknown field(s) {unknown} "
+                f"after migration to version {SPEC_VERSION}"
+            )
+        if "prescription" not in payload:
+            raise SpecError("spec payload is missing 'prescription'")
+        return cls(**payload)
 
     def validate(self, repository: PrescriptionRepository) -> None:
         """Raise :class:`SpecError` on any inconsistency."""

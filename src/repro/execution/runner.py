@@ -489,17 +489,20 @@ class TestRunner:
         tracer = current_tracer()
         if len(tasks) <= 1 or self.options.executor == "serial":
             if not tracer.enabled:
-                return [
+                # No early return: the store-recording epilogue below
+                # must see the serial path's outcomes too.
+                outcomes = [
                     self._run_task_guarded(task, policy, on_error)
                     for task in tasks
                 ]
-            submitted = time.perf_counter()
-            outcomes = [
-                self._run_task_traced(
-                    task, index, policy, on_error, submitted=submitted
-                )
-                for index, task in enumerate(tasks)
-            ]
+            else:
+                submitted = time.perf_counter()
+                outcomes = [
+                    self._run_task_traced(
+                        task, index, policy, on_error, submitted=submitted
+                    )
+                    for index, task in enumerate(tasks)
+                ]
         elif self.options.executor == "process":
             outcomes = self._run_many_process(tasks, policy, on_error, tracer)
         else:

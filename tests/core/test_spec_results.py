@@ -8,7 +8,11 @@ import repro  # noqa: F401 - triggers default registration
 from repro.core.errors import MetricError, SpecError
 from repro.core.prescription import builtin_repository
 from repro.core.results import MetricStats, ResultAnalyzer, RunResult
-from repro.core.spec import BenchmarkSpec
+from repro.core.spec import (
+    SPEC_VERSION,
+    BenchmarkSpec,
+    register_spec_migration,
+)
 from repro.engines.base import CostCounters
 from repro.workloads.base import WorkloadResult
 
@@ -55,6 +59,71 @@ class TestBenchmarkSpec:
     def test_resolved_engines_honours_explicit_list(self, repository):
         spec = BenchmarkSpec("database-aggregate-join", engines=["dbms"])
         assert spec.resolved_engines(repository) == ["dbms"]
+
+
+class TestSpecVersioning:
+    def test_as_dict_stamps_current_version(self):
+        payload = BenchmarkSpec("micro-wordcount").as_dict()
+        assert payload["spec_version"] == SPEC_VERSION
+
+    def test_round_trip_is_identity(self):
+        spec = BenchmarkSpec(
+            "micro-sort", engines=["mapreduce"], volume=500,
+            repeats=3, params={"seed": 7}, executor="thread",
+            max_workers=2, on_error="continue", retries=1,
+            task_timeout=5.0, record=True, store_dir="/tmp/x",
+        )
+        assert BenchmarkSpec.from_dict(spec.as_dict()) == spec
+
+    def test_payload_copies_do_not_alias(self):
+        spec = BenchmarkSpec("micro-sort", engines=["mapreduce"])
+        payload = spec.as_dict()
+        payload["engines"].append("nosql")
+        payload["params"]["seed"] = 1
+        assert spec.engines == ["mapreduce"]
+        assert spec.params == {}
+
+    def test_unversioned_payload_is_v1_and_migrates_engine_field(self):
+        spec = BenchmarkSpec.from_dict(
+            {"prescription": "micro-wordcount", "engine": "mapreduce",
+             "volume": 120}
+        )
+        assert spec.engines == ["mapreduce"]
+        assert spec.volume == 120
+
+    def test_v1_bare_string_engines_migrates(self):
+        spec = BenchmarkSpec.from_dict(
+            {"prescription": "micro-wordcount", "engines": "mapreduce"}
+        )
+        assert spec.engines == ["mapreduce"]
+
+    def test_future_version_rejected(self):
+        with pytest.raises(SpecError, match="newer than this release"):
+            BenchmarkSpec.from_dict(
+                {"spec_version": SPEC_VERSION + 1,
+                 "prescription": "micro-wordcount"}
+            )
+
+    def test_non_integer_version_rejected(self):
+        with pytest.raises(SpecError, match="must be an integer"):
+            BenchmarkSpec.from_dict(
+                {"spec_version": "two", "prescription": "micro-wordcount"}
+            )
+
+    def test_unknown_field_rejected_after_migration(self):
+        with pytest.raises(SpecError, match="unknown field"):
+            BenchmarkSpec.from_dict(
+                {"spec_version": SPEC_VERSION,
+                 "prescription": "micro-wordcount", "vollume": 5}
+            )
+
+    def test_missing_prescription_rejected(self):
+        with pytest.raises(SpecError, match="missing 'prescription'"):
+            BenchmarkSpec.from_dict({"spec_version": SPEC_VERSION})
+
+    def test_duplicate_migration_registration_rejected(self):
+        with pytest.raises(SpecError, match="already registered"):
+            register_spec_migration(1, lambda payload: payload)
 
 
 def make_workload_result(duration: float, engine: str = "mapreduce") -> WorkloadResult:

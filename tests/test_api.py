@@ -1,0 +1,101 @@
+"""Tests for the ``repro.api`` facade and the deprecation shims."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro import api
+from repro.core.errors import SpecError
+from repro.core.results import RunResult
+
+
+class TestFacadeSurface:
+    def test_blessed_names_are_importable_from_the_top(self):
+        # The facade re-exports from repro/__init__.py: one import
+        # serves both `from repro.api import run` and `repro.run`.
+        for name in ("BenchmarkSpec", "run", "sweep", "ServiceClient",
+                     "compare", "gate", "serve", "api"):
+            assert hasattr(repro, name), name
+            assert name in repro.__all__
+        for name in api.__all__:
+            assert hasattr(api, name), name
+
+    def test_run_accepts_a_name(self):
+        report = api.run("micro-wordcount", volume=80,
+                         engines=["mapreduce"])
+        assert len(report.results) == 1
+        assert report.results[0].engine == "mapreduce"
+
+    def test_run_accepts_a_spec(self):
+        report = api.run(
+            api.BenchmarkSpec("micro-wordcount", volume=80,
+                              engines=["mapreduce"], repeats=2)
+        )
+        result = report.results[0]
+        assert len(result.metrics["duration"].samples) == 2
+
+    def test_sweep_volume_axis(self):
+        report = api.sweep("micro-wordcount", "mapreduce",
+                           volumes=[40, 80])
+        assert report.parameter == "volume"
+        assert [point.value for point in report.points] == [40, 80]
+
+    def test_sweep_requires_exactly_one_axis(self):
+        with pytest.raises(SpecError, match="exactly one axis"):
+            api.sweep("micro-wordcount", "mapreduce")
+        with pytest.raises(SpecError, match="exactly one axis"):
+            api.sweep("micro-wordcount", "mapreduce",
+                      volumes=[40], parameter="seed", values=[1])
+
+    def test_compare_and_gate_round_trip(self, tmp_path):
+        store_dir = str(tmp_path)
+        for _ in range(2):
+            api.run("micro-wordcount", volume=80, engines=["mapreduce"],
+                    repeats=2, record=True, store_dir=store_dir)
+        comparison = api.compare("r0001", "r0002", store_dir=store_dir)
+        assert comparison.baseline == "r0001"
+        assert comparison.candidate == "r0002"
+
+        from repro.analysis.baselines import BaselineManager
+        from repro.analysis.store import RunStore
+
+        BaselineManager(RunStore(tmp_path)).promote("r0001", "main")
+        report = api.gate("main", "r0002", store_dir=store_dir)
+        assert report.exit_code in (0, 1)
+
+    def test_serve_returns_a_service_client(self, tmp_path):
+        with api.serve(store_dir=str(tmp_path)) as client:
+            assert isinstance(client, api.ServiceClient)
+            outcomes = client.submit(
+                api.BenchmarkSpec("micro-wordcount", volume=60,
+                                  engines=["mapreduce"])
+            ).result(timeout=60)
+        assert all(isinstance(o, RunResult) for o in outcomes)
+
+
+class TestDeprecationShims:
+    def _results(self):
+        report = api.run("micro-wordcount", volume=60,
+                         engines=["mapreduce"])
+        return report.results
+
+    def test_results_table_warns_and_still_works(self):
+        from repro.execution.report import render_results, results_table
+
+        results = self._results()
+        with pytest.warns(DeprecationWarning, match="results_table"):
+            legacy = results_table(results, ["duration"])
+        assert legacy == render_results(results, metrics=["duration"])
+
+    def test_results_json_warns_and_still_works(self):
+        from repro.execution.report import render_results, results_json
+
+        results = self._results()
+        with pytest.warns(DeprecationWarning, match="results_json"):
+            legacy = results_json(results)
+        assert json.loads(legacy) == json.loads(
+            render_results(results, style="json")
+        )

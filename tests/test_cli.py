@@ -362,3 +362,148 @@ class TestMiniature:
     def test_unknown_suite(self):
         code, _ = run_cli("miniature", "SparkBench")
         assert code == 2
+
+
+class TestFlagAliases:
+    """The historical flag spellings stay as hidden aliases of the
+    shared parent-parser flags."""
+
+    def test_backend_aliases_executor(self):
+        code, output = run_cli(
+            "run", "micro-wordcount", "--volume", "30",
+            "--backend", "thread", "--max-workers", "2",
+        )
+        assert code == 0
+        assert "micro-wordcount@mapreduce" in output
+
+    def test_store_aliases_store_dir(self, tmp_path):
+        code, _ = run_cli(
+            "run", "micro-wordcount", "--volume", "30", "--record",
+            "--store", str(tmp_path / "store"),
+        )
+        assert code == 0
+        code, output = run_cli(
+            "runs", "list", "--store", str(tmp_path / "store")
+        )
+        assert code == 0
+        assert "r0001" in output
+
+    def test_aliases_are_hidden_from_help(self, capsys):
+        import contextlib
+
+        with contextlib.suppress(SystemExit):
+            main(["run", "--help"])
+        help_text = capsys.readouterr().out
+        assert "--store-dir" in help_text
+        assert "--executor" in help_text
+        assert "--workers" in help_text
+        assert "--store " not in help_text
+        assert "--backend" not in help_text
+        assert "--max-workers" not in help_text
+
+
+class TestServiceVerbs:
+    """submit / serve / jobs against a tmp store."""
+
+    def test_submit_runs_and_logs_a_job(self, tmp_path):
+        store = str(tmp_path / "store")
+        code, output = run_cli(
+            "submit", "micro-wordcount", "--volume", "30",
+            "--engine", "mapreduce", "--record", "--store-dir", store,
+        )
+        assert code == 0
+        assert "submitted j0001" in output
+        assert "micro-wordcount@mapreduce" in output
+        assert "r0001" in output
+
+        code, output = run_cli("jobs", "list", "--store-dir", store)
+        assert code == 0
+        assert "j0001" in output
+        assert "done" in output
+
+        code, output = run_cli("jobs", "show", "j0001",
+                               "--store-dir", store)
+        assert code == 0
+        assert "state:       done" in output
+        assert "queued" in output and "running" in output
+
+    def test_jobs_cancel_rejects_terminal_jobs(self, tmp_path):
+        store = str(tmp_path / "store")
+        run_cli("submit", "micro-wordcount", "--volume", "30",
+                "--store-dir", store)
+        code, _ = run_cli("jobs", "cancel", "j0001",
+                          "--store-dir", store)
+        assert code == 2
+
+    def test_serve_spec_file_batch(self, tmp_path):
+        store = str(tmp_path / "store")
+        spec_file = tmp_path / "batch.json"
+        spec_file.write_text(json.dumps([
+            {"prescription": "micro-wordcount",
+             "engines": ["mapreduce"], "volume": 30, "record": True},
+            # A version-1 payload: no spec_version, legacy "engine" key.
+            {"prescription": "micro-sort", "engine": "mapreduce",
+             "volume": 30, "record": True},
+        ]))
+        code, output = run_cli(
+            "serve", "--spec-file", str(spec_file),
+            "--schedulers", "2", "--store-dir", store,
+        )
+        assert code == 0
+        assert "2/2 job(s) done" in output
+        code, output = run_cli("runs", "list", "--store-dir", store)
+        assert code == 0
+        assert "r0001" in output and "r0002" in output
+
+    def test_serve_single_object_spec_file(self, tmp_path):
+        spec_file = tmp_path / "one.json"
+        spec_file.write_text(json.dumps(
+            {"prescription": "micro-wordcount", "volume": 30,
+             "engines": ["mapreduce"]}
+        ))
+        code, output = run_cli(
+            "serve", "--spec-file", str(spec_file), "--quiet",
+            "--store-dir", str(tmp_path / "store"),
+        )
+        assert code == 0
+        assert "1/1 job(s) done" in output
+
+    def test_serve_reports_failed_jobs_nonzero(self, tmp_path):
+        spec_file = tmp_path / "bad.json"
+        spec_file.write_text(json.dumps(
+            {"prescription": "micro-wordcount", "volume": 30,
+             "engines": ["mapreduce"], "task_timeout": 0.01,
+             "inject_latency": 0.3}
+        ))
+        code, output = run_cli(
+            "serve", "--spec-file", str(spec_file), "--quiet",
+            "--store-dir", str(tmp_path / "store"),
+        )
+        assert code == 1
+        assert "0/1 job(s) done" in output
+
+    def test_jobs_list_empty_store(self, tmp_path):
+        code, output = run_cli(
+            "jobs", "list", "--store-dir", str(tmp_path / "store")
+        )
+        assert code == 0
+        assert "no jobs logged" in output
+
+    def test_jobs_cancel_marks_orphaned_job(self, tmp_path):
+        # Craft a log whose job never went terminal (the owning service
+        # process died); the offline cancel tombstones it.
+        from repro.core.spec import BenchmarkSpec
+        from repro.service.jobs import Job, JobLog
+
+        store = tmp_path / "store"
+        log = JobLog(store)
+        log.append(Job(spec=BenchmarkSpec("micro-wordcount"),
+                       job_id="j0001"), "queued")
+        code, output = run_cli("jobs", "cancel", "j0001",
+                               "--store-dir", str(store))
+        assert code == 0
+        assert "cancelled j0001" in output
+        code, output = run_cli("jobs", "list", "--state", "cancelled",
+                               "--store-dir", str(store))
+        assert code == 0
+        assert "j0001" in output

@@ -1,0 +1,243 @@
+"""E15 — controllable-velocity load generation (§5.1, request side).
+
+Three sustained-throughput experiments through the ``repro.loadgen``
+stack, all on the virtual clock so the latency numbers are properties
+of the *modelled* system, not of this host's scheduler:
+
+* **capacity sweep** — one synthetic server driven from well under to
+  well over its capacity; the SLO verdict must flip from PASS to FAIL
+  exactly where queueing theory says the queue blows up, with the shed
+  fraction absorbing the overload;
+* **arrival shapes** — the same nominal rate offered as constant /
+  poisson / bursty / diurnal arrivals; tail latency must order by
+  burstiness (constant ≤ poisson ≤ bursty) while every verdict stays
+  deterministic (same seed → byte-identical summary);
+* **service sustained run** — a short Poisson run against the benchmark
+  service orchestrator: real jobs, measured service times folded into
+  the virtual timeline.
+
+Each run appends a run-store-schema row (see ``_history``) to
+``BENCH_load_generation.json`` so the achieved-rate and percentile
+numbers accumulate into a perf trajectory across revisions.  The
+simulator's own speed (simulated requests per wall second) is recorded
+too — the load generator must stay cheap enough to model rates far
+beyond what the host could serve for real.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from _history import append_history
+from conftest import print_banner
+
+from repro.execution.report import ascii_table
+from repro.loadgen import (
+    LoadPlan,
+    LoadRunner,
+    ServiceTarget,
+    SLOPolicy,
+    SyntheticTarget,
+)
+
+RESULTS_FILE = Path(__file__).parent / "BENCH_load_generation.json"
+
+#: One simulated server with 10ms mean service ≈ 100 req/s capacity
+#: per unit of concurrency.
+MEAN_SERVICE = 0.010
+CONCURRENCY = 4
+DURATION = 20.0
+SEED = 42
+
+#: Offered rates as fractions of the 4 × 100 req/s nominal capacity.
+SWEEP_FRACTIONS = (0.5, 0.8, 1.6)
+
+ARRIVALS = ("constant", "poisson", "bursty", "diurnal")
+
+
+def _run(rate: float, arrival: str = "poisson", **plan_options):
+    runner = LoadRunner(
+        SyntheticTarget(mean_service=MEAN_SERVICE),
+        concurrency=CONCURRENCY,
+        queue_capacity=64,
+    )
+    plan = LoadPlan(
+        arrival=arrival,
+        rate=rate,
+        duration=DURATION,
+        seed=SEED,
+        **plan_options,
+    )
+    slo = SLOPolicy(p99_budget=0.25, max_shed_fraction=0.02)
+    started = time.perf_counter()
+    report = runner.run(plan, slo=slo)
+    wall = time.perf_counter() - started
+    return report, wall
+
+
+def test_capacity_sweep_flips_the_verdict(benchmark):
+    capacity = CONCURRENCY / MEAN_SERVICE
+
+    def drive():
+        return {
+            fraction: _run(capacity * fraction)
+            for fraction in SWEEP_FRACTIONS
+        }
+
+    outcomes = benchmark.pedantic(drive, rounds=1, iterations=1)
+
+    print_banner("E15a", "load generation — capacity sweep")
+    rows = []
+    for fraction, (report, wall) in outcomes.items():
+        stats = report.latency_stats()
+        rows.append({
+            "offered/capacity": fraction,
+            "achieved/s": f"{report.achieved_rate:.1f}",
+            "shed": f"{report.shed_fraction:.1%}",
+            "p50 ms": f"{stats.p50 * 1e3:.2f}",
+            "p99 ms": f"{stats.p99 * 1e3:.2f}",
+            "verdict": "PASS" if report.verdict.passed else "FAIL",
+            "sim req/s": f"{report.offered / wall:.0f}",
+        })
+    print(ascii_table(rows))
+
+    # Under capacity the SLO holds; at 1.6× the verdict must fail and
+    # the bounded queue must shed the overload.
+    assert outcomes[0.5][0].verdict.passed
+    assert outcomes[0.8][0].verdict.passed
+    overloaded = outcomes[1.6][0]
+    assert not overloaded.verdict.passed
+    assert overloaded.shed_fraction > 0.02
+    # Queueing delay shows up in the tail well before saturation.
+    assert (
+        outcomes[0.8][0].latency_stats().p99
+        > outcomes[0.5][0].latency_stats().p99
+    )
+
+    append_history(
+        RESULTS_FILE,
+        "load_generation.capacity_sweep",
+        {
+            "mean_service": MEAN_SERVICE,
+            "concurrency": CONCURRENCY,
+            "duration": DURATION,
+            "fractions": list(SWEEP_FRACTIONS),
+            "seed": SEED,
+        },
+        {
+            str(fraction): {
+                "offered_rate": report.offered_rate,
+                "achieved_rate": report.achieved_rate,
+                "shed_fraction": report.shed_fraction,
+                "latency": report.latency_stats().as_dict()
+                | {"samples": None},
+                "slo_passed": report.verdict.passed,
+                "simulated_requests_per_wall_second": report.offered / wall,
+            }
+            for fraction, (report, wall) in outcomes.items()
+        },
+    )
+
+
+def test_arrival_shapes_order_the_tail(benchmark):
+    rate = 0.7 * CONCURRENCY / MEAN_SERVICE
+
+    def drive():
+        return {arrival: _run(rate, arrival) for arrival in ARRIVALS}
+
+    outcomes = benchmark.pedantic(drive, rounds=1, iterations=1)
+
+    print_banner("E15b", "load generation — arrival shapes at 0.7× capacity")
+    print(ascii_table([
+        {
+            "arrival": arrival,
+            "offered/s": f"{report.offered_rate:.1f}",
+            "achieved/s": f"{report.achieved_rate:.1f}",
+            "p50 ms": f"{report.latency_stats().p50 * 1e3:.2f}",
+            "p99 ms": f"{report.latency_stats().p99 * 1e3:.2f}",
+            "queue max": report.queue_depth_max,
+            "verdict": "PASS" if report.verdict.passed else "FAIL",
+        }
+        for arrival, (report, wall) in outcomes.items()
+    ]))
+
+    # Burstiness orders the tail: smooth arrivals queue less.
+    p99 = {a: outcomes[a][0].latency_stats().p99 for a in ARRIVALS}
+    assert p99["constant"] <= p99["poisson"] <= p99["bursty"]
+
+    # Determinism: replaying any shape reproduces the summary exactly.
+    replay, _ = _run(rate, "bursty")
+    assert replay.summary() == outcomes["bursty"][0].summary()
+
+    append_history(
+        RESULTS_FILE,
+        "load_generation.arrival_shapes",
+        {
+            "mean_service": MEAN_SERVICE,
+            "concurrency": CONCURRENCY,
+            "duration": DURATION,
+            "rate": rate,
+            "seed": SEED,
+        },
+        {
+            arrival: {
+                "offered_rate": report.offered_rate,
+                "achieved_rate": report.achieved_rate,
+                "p50": report.latency_stats().p50,
+                "p99": report.latency_stats().p99,
+                "queue_depth_max": report.queue_depth_max,
+                "slo_passed": report.verdict.passed,
+            }
+            for arrival, (report, wall) in outcomes.items()
+        },
+    )
+
+
+def test_service_sustained_run(benchmark, tmp_path):
+    def drive():
+        runner = LoadRunner(
+            ServiceTarget(store_dir=str(tmp_path / "store")),
+            concurrency=2,
+        )
+        return runner.run(
+            LoadPlan(arrival="poisson", rate=6.0, duration=4.0, seed=SEED),
+            slo=SLOPolicy(min_rate_fraction=0.5, p99_budget=30.0),
+        )
+
+    report = benchmark.pedantic(drive, rounds=1, iterations=1)
+
+    print_banner("E15c", "load generation — service orchestrator under load")
+    stats = report.latency_stats()
+    print(ascii_table([{
+        "target": report.target_name,
+        "offered": report.offered,
+        "completed": report.completed,
+        "shed": report.shed,
+        "p50 ms": f"{stats.p50 * 1e3:.2f}",
+        "p99 ms": f"{stats.p99 * 1e3:.2f}",
+        "verdict": "PASS" if report.verdict.passed else "FAIL",
+    }]))
+
+    assert report.completed > 0
+    assert report.error_fraction == 0.0
+    assert report.verdict.passed
+
+    append_history(
+        RESULTS_FILE,
+        "load_generation.service_sustained",
+        {
+            "rate": 6.0,
+            "duration": 4.0,
+            "concurrency": 2,
+            "seed": SEED,
+        },
+        {
+            "offered": report.offered,
+            "completed": report.completed,
+            "shed_fraction": report.shed_fraction,
+            "p50": stats.p50,
+            "p99": stats.p99,
+            "slo_passed": report.verdict.passed,
+        },
+    )

@@ -82,7 +82,7 @@ from repro.service import (  # noqa: E402
     ServiceClient,
 )
 from repro import api  # noqa: E402
-from repro.api import compare, gate, run, serve, sweep  # noqa: E402
+from repro.api import compare, gate, load, run, serve, sweep  # noqa: E402
 
 __version__ = "1.1.0"
 
@@ -128,6 +128,7 @@ __all__ = [
     "compare",
     "current_tracer",
     "gate",
+    "load",
     "register_default_components",
     "run",
     "serve",

@@ -10,9 +10,12 @@ Everything a system owner needs, in one flat namespace::
 * :class:`ServiceClient` / :func:`serve` — submit, watch, fetch, and
   cancel jobs against the async orchestrator (benchmark as a service);
 * :func:`compare` — statistical comparison of two recorded runs;
-* :func:`gate` — regression gate against a promoted baseline.
+* :func:`gate` — regression gate against a promoted baseline;
+* :func:`load` — controllable-velocity load generation: drive a
+  workload, the service, or a synthetic model at a target rate and
+  judge the run against an SLO policy.
 
-These six names are the supported API.  Deeper modules
+These names are the supported API.  Deeper modules
 (:mod:`repro.execution`, :mod:`repro.engines`, :mod:`repro.datagen`,
 ...) remain importable for extension work, but scattered ad-hoc entry
 points are deprecated in favor of this facade.
@@ -34,6 +37,13 @@ from repro.core.prescription import PrescriptionRepository
 from repro.core.process import ProcessReport
 from repro.core.spec import SPEC_VERSION, BenchmarkSpec
 from repro.execution.harness import BenchmarkHarness, SweepReport
+from repro.loadgen import (
+    LoadPlan,
+    LoadReport,
+    LoadRunner,
+    SLOPolicy,
+    SLOVerdict,
+)
 from repro.observability import Tracer
 from repro.service import (
     AdmissionError,
@@ -164,6 +174,90 @@ def gate(
     )
 
 
+def load(
+    prescription: str | None = None,
+    *,
+    arrival: str = "poisson",
+    rate: float = 100.0,
+    duration: float = 10.0,
+    sessions: int = 0,
+    think_time: float = 0.0,
+    seed: int = 0,
+    clock: str = "virtual",
+    concurrency: int = 4,
+    queue_capacity: int = 64,
+    engine: str | None = None,
+    volume: int | None = None,
+    params: dict[str, Any] | None = None,
+    service: bool = False,
+    schedulers: int = 2,
+    mean_service: float = 0.005,
+    service_distribution: str = "lognormal",
+    slo: "SLOPolicy | None" = None,
+    record: bool = False,
+    store_dir: str | None = None,
+    repository: PrescriptionRepository | None = None,
+    tracer: Tracer | None = None,
+    **arrival_options: Any,
+) -> "LoadReport":
+    """Drive a target at a controlled rate and judge it against an SLO.
+
+    The target is a seeded synthetic service-time model by default
+    (fully deterministic on the virtual clock: same seed → same
+    verdict), a prescribed workload when ``prescription`` is given, or
+    the benchmark service when ``service=True``.  ``sessions > 0``
+    switches from the open-loop ``arrival`` schedule to the closed-loop
+    session model.  With ``record=True`` the report lands in the run
+    store as its own comparable series.  ``slo=None`` judges against
+    the stock :class:`~repro.loadgen.SLOPolicy` budgets.
+    """
+    from repro.loadgen import (
+        LoadPlan,
+        LoadRunner,
+        ServiceTarget,
+        SyntheticTarget,
+        WorkloadTarget,
+    )
+
+    if service:
+        target: Any = ServiceTarget(
+            spec=prescription,
+            store_dir=store_dir,
+            schedulers=schedulers,
+        )
+    elif prescription is not None:
+        target = WorkloadTarget(
+            prescription,
+            engine=engine,
+            volume=volume,
+            params=params,
+            repository=repository,
+        )
+    else:
+        target = SyntheticTarget(
+            mean_service=mean_service,
+            distribution=service_distribution,
+        )
+    plan = LoadPlan(
+        arrival=arrival,
+        rate=rate,
+        duration=duration,
+        sessions=sessions,
+        think_time=think_time,
+        seed=seed,
+        arrival_options=arrival_options,
+    )
+    runner = LoadRunner(
+        target,
+        clock=clock,
+        concurrency=concurrency,
+        queue_capacity=queue_capacity,
+        tracer=tracer,
+    )
+    store = RunStore(resolve_store_dir(store_dir)) if record else None
+    return runner.run(plan, slo=slo or SLOPolicy(), store=store)
+
+
 def serve(**options: Any) -> ServiceClient:
     """Start a benchmark service and return its client.
 
@@ -186,15 +280,21 @@ __all__ = [
     "GateReport",
     "Job",
     "JobHandle",
+    "LoadPlan",
+    "LoadReport",
+    "LoadRunner",
     "Orchestrator",
     "ProcessReport",
     "RunRecord",
     "RunStore",
+    "SLOPolicy",
+    "SLOVerdict",
     "SPEC_VERSION",
     "ServiceClient",
     "SweepReport",
     "compare",
     "gate",
+    "load",
     "run",
     "serve",
     "sweep",

@@ -264,6 +264,93 @@ def _build_parser() -> argparse.ArgumentParser:
     submit_parser.add_argument("--json", action="store_true",
                                help="emit results as JSON")
 
+    load_parser = commands.add_parser(
+        "load", parents=[common],
+        help="drive a workload, the service, or a synthetic model at a "
+             "controlled rate and judge the run against an SLO "
+             "(exit 0 = SLO met)",
+    )
+    load_parser.add_argument("prescription", nargs="?", default=None,
+                             help="prescribed workload to drive (omit "
+                                  "for the synthetic service-time "
+                                  "model)")
+    load_parser.add_argument("--arrival", default="poisson",
+                             choices=["constant", "poisson", "bursty",
+                                      "diurnal"],
+                             help="open-loop arrival process shape")
+    load_parser.add_argument("--rate", type=float, default=100.0,
+                             help="target offered rate, requests/s")
+    load_parser.add_argument("--duration", type=float, default=10.0,
+                             help="run length in (virtual or wall) "
+                                  "seconds")
+    load_parser.add_argument("--sessions", type=int, default=0,
+                             help="closed-loop session count (>0 "
+                                  "replaces the arrival schedule)")
+    load_parser.add_argument("--think-time", type=float, default=0.0,
+                             help="mean think time between closed-loop "
+                                  "requests, seconds")
+    load_parser.add_argument("--seed", type=int, default=0,
+                             help="seed for arrivals, service times, "
+                                  "and think times")
+    load_parser.add_argument("--clock", default="virtual",
+                             choices=["virtual", "real"],
+                             help="virtual = deterministic simulation; "
+                                  "real = paced wall-clock dispatch")
+    load_parser.add_argument("--concurrency", type=int, default=4,
+                             help="simulated servers / worker threads")
+    load_parser.add_argument("--queue-capacity", type=int, default=64,
+                             help="waiting requests beyond which "
+                                  "arrivals are shed")
+    load_parser.add_argument("--engine", default=None,
+                             help="engine for a prescribed workload "
+                                  "(default: first supported)")
+    load_parser.add_argument("--volume", type=int, default=None,
+                             help="data volume override for a "
+                                  "prescribed workload")
+    load_parser.add_argument("--param", action="append", default=[],
+                             metavar="KEY=VALUE",
+                             help="workload parameter override")
+    load_parser.add_argument("--service", action="store_true",
+                             help="drive the benchmark service (one "
+                                  "request = one job submit+wait)")
+    load_parser.add_argument("--schedulers", type=int, default=2,
+                             help="scheduler threads for the in-process "
+                                  "service (with --service)")
+    load_parser.add_argument("--mean-service", type=float, default=0.005,
+                             help="synthetic target mean service time, "
+                                  "seconds")
+    load_parser.add_argument("--service-distribution", default="lognormal",
+                             choices=["constant", "exponential",
+                                      "lognormal"],
+                             help="synthetic service-time distribution")
+    load_parser.add_argument("--burst-factor", type=float, default=None,
+                             help="bursty arrivals: burst-to-nominal "
+                                  "rate ratio")
+    load_parser.add_argument("--period", type=float, default=None,
+                             help="diurnal arrivals: cycle length, "
+                                  "seconds")
+    load_parser.add_argument("--amplitude", type=float, default=None,
+                             help="diurnal arrivals: modulation depth "
+                                  "in [0, 1)")
+    load_parser.add_argument("--slo-min-rate", type=float, default=0.95,
+                             help="completion rate must reach this "
+                                  "fraction of the offered rate")
+    load_parser.add_argument("--slo-p50", type=float, default=None,
+                             metavar="SECONDS",
+                             help="p50 latency budget")
+    load_parser.add_argument("--slo-p95", type=float, default=None,
+                             metavar="SECONDS",
+                             help="p95 latency budget")
+    load_parser.add_argument("--slo-p99", type=float, default=None,
+                             metavar="SECONDS",
+                             help="p99 latency budget")
+    load_parser.add_argument("--slo-max-shed", type=float, default=0.05,
+                             help="tolerated shed fraction")
+    load_parser.add_argument("--slo-max-errors", type=float, default=0.0,
+                             help="tolerated error fraction")
+    load_parser.add_argument("--json", action="store_true",
+                             help="emit the report as JSON")
+
     serve_parser = commands.add_parser(
         "serve", parents=[common],
         help="run a batch of job specs through the service "
@@ -855,6 +942,90 @@ def _command_submit(args, out) -> int:
     return 0
 
 
+def _command_load(args, out) -> int:
+    import json as json_module
+
+    from repro.api import SLOPolicy, load
+
+    arrival_options = {}
+    for option in ("burst_factor", "period", "amplitude"):
+        value = getattr(args, option)
+        if value is not None:
+            arrival_options[option] = value
+    slo = SLOPolicy(
+        min_rate_fraction=args.slo_min_rate,
+        p50_budget=args.slo_p50,
+        p95_budget=args.slo_p95,
+        p99_budget=args.slo_p99,
+        max_shed_fraction=args.slo_max_shed,
+        max_error_fraction=args.slo_max_errors,
+    )
+    report = load(
+        args.prescription,
+        arrival=args.arrival,
+        rate=args.rate,
+        duration=args.duration,
+        sessions=args.sessions,
+        think_time=args.think_time,
+        seed=args.seed,
+        clock=args.clock,
+        concurrency=args.concurrency,
+        queue_capacity=args.queue_capacity,
+        engine=args.engine,
+        volume=args.volume,
+        params=_parse_params(args.param),
+        service=args.service,
+        schedulers=args.schedulers,
+        mean_service=args.mean_service,
+        service_distribution=args.service_distribution,
+        slo=slo,
+        record=args.record,
+        store_dir=args.store_dir,
+        **arrival_options,
+    )
+    verdict = report.verdict
+    if args.json:
+        print(json_module.dumps(report.summary(), indent=2, sort_keys=True),
+              file=out)
+        return 0 if verdict.passed else 1
+    shape = (
+        f"{report.plan.sessions} sessions (closed loop)"
+        if report.plan.mode == "closed"
+        else f"{report.plan.arrival} @ {report.plan.rate:g} req/s"
+    )
+    print(
+        f"load: {shape} for {report.plan.duration:g}s against "
+        f"{report.target_name} [{report.clock} clock, "
+        f"concurrency {report.concurrency}, seed {report.plan.seed}]",
+        file=out,
+    )
+    print(
+        f"  offered {report.offered} ({report.offered_rate:.4g}/s)  "
+        f"completed {report.completed} ({report.achieved_rate:.4g}/s)  "
+        f"shed {report.shed} ({report.shed_fraction:.1%})  "
+        f"errors {report.errors} ({report.error_fraction:.1%})",
+        file=out,
+    )
+    if report.latencies:
+        stats = report.latency_stats()
+        print(
+            f"  latency p50 {stats.p50 * 1e3:.3g}ms  "
+            f"p95 {stats.p95 * 1e3:.3g}ms  "
+            f"p99 {stats.p99 * 1e3:.3g}ms  "
+            f"max {stats.maximum * 1e3:.3g}ms  "
+            f"queue depth max {report.queue_depth_max}",
+            file=out,
+        )
+    else:
+        print("  no completed requests (no latency samples)", file=out)
+    print(f"SLO: {'PASS' if verdict.passed else 'FAIL'}", file=out)
+    for check in verdict.checks:
+        print(f"  {check.describe()}", file=out)
+    if report.record_id is not None:
+        print(f"recorded {report.record_id}", file=out)
+    return 0 if verdict.passed else 1
+
+
 def _command_serve(args, out) -> int:
     import dataclasses
     import json as json_module
@@ -990,6 +1161,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _command_baseline(args, out)
         if args.command == "submit":
             return _command_submit(args, out)
+        if args.command == "load":
+            return _command_load(args, out)
         if args.command == "serve":
             return _command_serve(args, out)
         if args.command == "jobs":

@@ -62,3 +62,17 @@ class AnalysisError(ReproError):
 class ServiceError(ReproError):
     """The benchmark service could not satisfy a request (unknown job,
     invalid state transition, failed job result, shutdown race)."""
+
+
+class LoadGenError(ReproError):
+    """The load-generation subsystem was misconfigured or could not
+    drive its target (unknown arrival kind, invalid plan, bad SLO)."""
+
+
+class RequestShed(LoadGenError):
+    """One load-generation request was shed instead of served.
+
+    Raised by a :class:`~repro.loadgen.targets.LoadTarget` whose backing
+    system refused the request at the door (the runner also sheds on its
+    own bounded queue); the runner counts these toward the shed
+    fraction rather than treating them as errors."""

@@ -34,6 +34,7 @@ from repro.datagen.resume import ResumeGenerator, cluster_cohesion
 from repro.datagen.sampling import scale_down
 from repro.datagen.stream import (
     BurstyArrivals,
+    DiurnalArrivals,
     EmpiricalArrivals,
     EventKind,
     PoissonArrivals,
@@ -94,6 +95,7 @@ __all__ = [
     "DataType",
     "DatasetCache",
     "DatasetSource",
+    "DiurnalArrivals",
     "EmpiricalArrivals",
     "ErdosRenyiGenerator",
     "EventKind",

@@ -123,6 +123,49 @@ class BurstyArrivals(ArrivalProcess):
         return gaps
 
 
+@dataclass(frozen=True)
+class DiurnalArrivals(ArrivalProcess):
+    """Sinusoidally rate-modulated arrivals (a synthetic "day").
+
+    The instantaneous rate follows ``rate * (1 + amplitude * sin(2πt /
+    period))``, so a schedule longer than one period shows a peak and a
+    trough around the base rate.  Each gap is drawn exponentially at the
+    rate in effect at the current cumulative time (a stepwise
+    approximation of the non-homogeneous Poisson process) — state lives
+    inside one :meth:`gaps` call, so a schedule must be drawn in a
+    single call to keep the phase continuous.
+    """
+
+    rate: float
+    period: float = 60.0
+    amplitude: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise GenerationError(f"rate must be positive, got {self.rate}")
+        if self.period <= 0:
+            raise GenerationError(
+                f"period must be positive, got {self.period}"
+            )
+        if not 0.0 <= self.amplitude < 1.0:
+            raise GenerationError(
+                f"amplitude must be in [0, 1), got {self.amplitude}"
+            )
+
+    def gaps(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        gaps = np.empty(count)
+        elapsed = 0.0
+        two_pi = 2.0 * np.pi
+        for index in range(count):
+            instantaneous = self.rate * (
+                1.0 + self.amplitude * np.sin(two_pi * elapsed / self.period)
+            )
+            gap = rng.exponential(1.0 / instantaneous)
+            gaps[index] = gap
+            elapsed += gap
+        return gaps
+
+
 class EmpiricalArrivals(ArrivalProcess):
     """Bootstrap-resamples the inter-arrival gaps of a real stream."""
 

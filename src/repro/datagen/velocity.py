@@ -33,6 +33,16 @@ from repro.datagen.base import DataGenerator, DataSet, mix_seed
 from repro.datagen.stream import EventKind, StreamEvent
 
 
+#: Durations below this are indistinguishable from timer noise: a
+#: ``perf_counter`` delta can legitimately round to zero for trivially
+#: small generations.  Rates clamp their denominator to this floor
+#: instead of silently reporting 0.0 — a zero "rate" for an instant run
+#: is the *opposite* of what happened, and it used to poison downstream
+#: ratio plots (a ×N parallel run whose makespan rounded to zero showed
+#: a speedup of 0.0, i.e. an infinite slowdown).
+MIN_MEASURABLE_SECONDS = 1e-9
+
+
 @dataclass
 class VelocityReport:
     """Timing evidence from one controlled generation run."""
@@ -53,21 +63,41 @@ class VelocityReport:
         return max(self.partition_seconds) if self.partition_seconds else 0.0
 
     @property
+    def below_timer_resolution(self) -> bool:
+        """True when a timer rounded to ~zero and the rates are floors.
+
+        Check this before quoting :attr:`wall_rate` /
+        :attr:`simulated_rate` as measurements: a flagged report says
+        "at least this fast", not "this fast"."""
+        return (
+            self.wall_seconds < MIN_MEASURABLE_SECONDS
+            or self.simulated_parallel_seconds < MIN_MEASURABLE_SECONDS
+        )
+
+    @property
     def wall_rate(self) -> float:
         """Records/second actually observed on this host."""
-        return self.volume / self.wall_seconds if self.wall_seconds > 0 else 0.0
+        return self.volume / max(self.wall_seconds, MIN_MEASURABLE_SECONDS)
 
     @property
     def simulated_rate(self) -> float:
         """Records/second N distributed generators would achieve."""
-        makespan = self.simulated_parallel_seconds
-        return self.volume / makespan if makespan > 0 else 0.0
+        makespan = max(
+            self.simulated_parallel_seconds, MIN_MEASURABLE_SECONDS
+        )
+        return self.volume / makespan
 
     @property
     def speedup(self) -> float:
-        """Simulated distributed speedup over serial generation."""
+        """Simulated distributed speedup over serial generation.
+
+        A run where *both* timers rounded to zero carries no ratio
+        evidence at all, so it reports the neutral 1.0 rather than
+        0.0."""
         makespan = self.simulated_parallel_seconds
-        return self.serial_seconds / makespan if makespan > 0 else 0.0
+        if makespan < MIN_MEASURABLE_SECONDS:
+            return max(self.serial_seconds / MIN_MEASURABLE_SECONDS, 1.0)
+        return self.serial_seconds / makespan
 
 
 class ParallelGenerationController:
@@ -153,15 +183,43 @@ class UpdateScheduler:
         self.delete_fraction = delete_fraction
         self.seed = seed
 
-    def plan(self, duration_seconds: float, key_space: int) -> list[StreamEvent]:
-        """Plan the update events for a window of ``duration_seconds``."""
+    def plan(
+        self,
+        duration_seconds: float,
+        key_space: int,
+        window: int = 0,
+        start_offset: float = 0.0,
+    ) -> list[StreamEvent]:
+        """Plan the update events for one window of ``duration_seconds``.
+
+        ``window`` is mixed into the seed so successive windows of a
+        long-running update stream draw *different* events — seeding
+        from ``(seed, key_space)`` alone replayed the identical sequence
+        every window, which defeats the updating-frequency experiments
+        (every window hit the same keys in the same order).  Plans stay
+        deterministic: the same ``(seed, key_space, window)`` always
+        yields the same events.
+
+        ``start_offset`` shifts the timestamps, so a caller planning
+        consecutive windows can lay them on one continuous timeline::
+
+            events = [
+                scheduler.plan(60.0, keys, window=w, start_offset=60.0 * w)
+                for w in range(24)
+            ]
+        """
         if duration_seconds <= 0:
             raise GenerationError("duration must be positive")
         if key_space <= 0:
             raise GenerationError("key_space must be positive")
-        rng = np.random.default_rng(mix_seed(self.seed, key_space))
+        if window < 0:
+            raise GenerationError(f"window must be non-negative, got {window}")
+        rng = np.random.default_rng(mix_seed(self.seed, key_space, window))
         count = int(round(self.updates_per_second * duration_seconds))
-        timestamps = np.sort(rng.uniform(0.0, duration_seconds, size=count))
+        timestamps = (
+            np.sort(rng.uniform(0.0, duration_seconds, size=count))
+            + start_offset
+        )
         keys = rng.integers(0, key_space, size=count)
         values = rng.normal(0.0, 1.0, size=count)
         draws = rng.random(count)
@@ -227,21 +285,38 @@ class PacedStream:
         self.real_time = real_time
         self._sleep = sleep
 
-    def __iter__(self) -> Iterator[tuple[float, StreamEvent]]:
-        """Yield (delivery_time, event) pairs under the pacing constraint."""
+    def schedule(self) -> list[tuple[float, StreamEvent]]:
+        """The (delivery_time, event) schedule pacing will produce.
+
+        Pure computation against the virtual clock — never sleeps, even
+        when the stream is configured ``real_time=True``.  Iterating the
+        stream yields exactly these pairs.
+        """
         interval = 1.0 / self.target_rate
-        virtual_clock = 0.0
+        paced: list[tuple[float, StreamEvent]] = []
         for index, event in enumerate(self.events):
             earliest = index * interval
-            delivery = max(event.timestamp, earliest)
+            paced.append((max(event.timestamp, earliest), event))
+        return paced
+
+    def __iter__(self) -> Iterator[tuple[float, StreamEvent]]:
+        """Yield (delivery_time, event) pairs under the pacing constraint."""
+        virtual_clock = 0.0
+        for delivery, event in self.schedule():
             if self.real_time and delivery > virtual_clock:
                 self._sleep(delivery - virtual_clock)
             virtual_clock = delivery
             yield delivery, event
 
     def delivered_rate(self) -> float:
-        """The average delivery rate after pacing (events/second)."""
-        deliveries = [delivery for delivery, _ in self]
+        """The average delivery rate after pacing (events/second).
+
+        Computed from :meth:`schedule`, so asking a ``real_time`` stream
+        for its rate is instantaneous — it used to iterate the stream
+        itself and sleep through the entire replay just to report a
+        number the virtual schedule already knew.
+        """
+        deliveries = [delivery for delivery, _ in self.schedule()]
         if len(deliveries) < 2:
             raise GenerationError("need at least two events to measure a rate")
         span = deliveries[-1] - deliveries[0]

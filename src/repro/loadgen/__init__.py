@@ -1,0 +1,49 @@
+"""Controllable-velocity load generation (paper §5.1, request side).
+
+The subsystem in four pieces: :mod:`~repro.loadgen.arrivals` (seeded
+open-loop schedules), :mod:`~repro.loadgen.targets` (what one request
+does — synthetic model, prescribed workload, or the benchmark service),
+:mod:`~repro.loadgen.slo` (budgets → verdicts), and
+:mod:`~repro.loadgen.runner` (the :class:`LoadRunner` tying them
+together on a virtual or real clock, recording into the run store).
+"""
+
+from repro.loadgen.arrivals import (
+    ARRIVAL_KINDS,
+    arrival_process,
+    arrival_schedule,
+)
+from repro.loadgen.runner import (
+    CLOCK_KINDS,
+    LoadPlan,
+    LoadReport,
+    LoadRunner,
+    load_fingerprint,
+)
+from repro.loadgen.slo import SLOCheck, SLOPolicy, SLOVerdict
+from repro.loadgen.targets import (
+    SERVICE_DISTRIBUTIONS,
+    LoadTarget,
+    ServiceTarget,
+    SyntheticTarget,
+    WorkloadTarget,
+)
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "CLOCK_KINDS",
+    "SERVICE_DISTRIBUTIONS",
+    "LoadPlan",
+    "LoadReport",
+    "LoadRunner",
+    "LoadTarget",
+    "SLOCheck",
+    "SLOPolicy",
+    "SLOVerdict",
+    "ServiceTarget",
+    "SyntheticTarget",
+    "WorkloadTarget",
+    "arrival_process",
+    "arrival_schedule",
+    "load_fingerprint",
+]

@@ -1,0 +1,571 @@
+"""The load runner (load generation, piece 4 of 4).
+
+"Hold X req/s for T seconds and report the latency distribution."  The
+:class:`LoadRunner` drives a :class:`~repro.loadgen.targets.LoadTarget`
+under a :class:`LoadPlan` — an open-loop arrival schedule (constant /
+poisson / bursty / diurnal) or a closed-loop session population with
+think times — on one of two clocks:
+
+* **virtual** (default): a discrete-event simulation of a bounded FIFO
+  queue in front of ``concurrency`` servers.  Service times come from
+  the target's seeded model (fully deterministic — the SLO verdict
+  contract) or, for executing targets, from really running the request
+  and folding the measured wall time into the virtual timeline;
+* **real**: arrivals are paced with actual sleeps (injectable for
+  tests) and dispatched to a thread pool, so a live system — the
+  service orchestrator, say — feels genuine concurrent pressure.
+
+Latency is measured from the *intended* arrival time, so queueing delay
+is included and coordinated omission cannot hide an overload.  Requests
+the bounded queue (or the target's own admission control) refuses are
+**shed**, counted separately from errors, and excluded from the latency
+samples.  The per-run evidence lands in a :class:`LoadReport`, which
+serializes through the existing
+:class:`~repro.core.results.MetricStats` p50/p95/p99 machinery into a
+:class:`~repro.core.results.RunResult` — and from there into the run
+store as its own recorded series, comparable and gateable like every
+other benchmark.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.errors import LoadGenError, RequestShed
+from repro.core.results import MetricStats, RunResult
+from repro.datagen.base import mix_seed
+from repro.loadgen.arrivals import ARRIVAL_KINDS, arrival_schedule
+from repro.loadgen.slo import SLOPolicy, SLOVerdict
+from repro.loadgen.targets import LoadTarget
+from repro.observability import NULL_TRACER, Tracer
+from repro.service.queue import AdmissionError
+
+#: The two clocks a plan can run on.
+CLOCK_KINDS = ("virtual", "real")
+
+#: Seed-stream tags keeping service and think draws independent of the
+#: arrival schedule (and of each other) under one user seed.
+_SERVICE_STREAM = 0x5E21
+_THINK_STREAM = 0x7417
+
+
+@dataclass
+class LoadPlan:
+    """What load to offer: shape, rate, duration, and loop model.
+
+    ``sessions > 0`` selects the closed-loop model (``sessions``
+    concurrent users, each issuing think-pause-issue); otherwise the
+    open-loop ``arrival`` schedule at ``rate`` req/s drives the run.
+    """
+
+    arrival: str = "poisson"
+    rate: float = 100.0
+    duration: float = 10.0
+    sessions: int = 0
+    think_time: float = 0.0
+    seed: int = 0
+    #: Extra arrival-process options (burst_factor, period, amplitude).
+    arrival_options: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def mode(self) -> str:
+        return "closed" if self.sessions > 0 else "open"
+
+    def validate(self) -> None:
+        if self.mode == "open" and self.arrival not in ARRIVAL_KINDS:
+            raise LoadGenError(
+                f"unknown arrival kind {self.arrival!r}; available: "
+                f"{', '.join(ARRIVAL_KINDS)}"
+            )
+        if self.rate <= 0:
+            raise LoadGenError(f"rate must be positive, got {self.rate}")
+        if self.duration <= 0:
+            raise LoadGenError(
+                f"duration must be positive, got {self.duration}"
+            )
+        if self.sessions < 0:
+            raise LoadGenError(
+                f"sessions must be non-negative, got {self.sessions}"
+            )
+        if self.think_time < 0:
+            raise LoadGenError(
+                f"think_time must be non-negative, got {self.think_time}"
+            )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "arrival": self.arrival,
+            "rate": self.rate,
+            "duration": self.duration,
+            "sessions": self.sessions,
+            "think_time": self.think_time,
+            "seed": self.seed,
+            "arrival_options": dict(self.arrival_options),
+        }
+
+
+@dataclass
+class LoadReport:
+    """Everything one load run measured."""
+
+    plan: LoadPlan
+    target_name: str
+    clock: str
+    concurrency: int
+    queue_capacity: int
+    offered: int = 0
+    completed: int = 0
+    shed: int = 0
+    errors: int = 0
+    latencies: list[float] = field(default_factory=list)
+    queue_depth_samples: list[int] = field(default_factory=list)
+    #: The measurement window: the virtual (or wall) time from the first
+    #: arrival to the last completion, never less than the plan duration.
+    elapsed_seconds: float = 0.0
+    verdict: SLOVerdict | None = None
+    record_id: str | None = None
+
+    @property
+    def offered_rate(self) -> float:
+        """Requests the schedule actually asked for, per plan second."""
+        return self.offered / self.plan.duration
+
+    @property
+    def achieved_rate(self) -> float:
+        """Completions per second over the full measurement window."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.completed / self.elapsed_seconds
+
+    @property
+    def shed_fraction(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+    @property
+    def error_fraction(self) -> float:
+        return self.errors / self.offered if self.offered else 0.0
+
+    @property
+    def queue_depth_max(self) -> int:
+        return max(self.queue_depth_samples, default=0)
+
+    def latency_stats(self) -> MetricStats:
+        """Per-request latencies through the p50/p95/p99 machinery."""
+        if not self.latencies:
+            raise LoadGenError("no completed requests: no latencies")
+        return MetricStats("latency", list(self.latencies))
+
+    def as_run_result(self) -> RunResult:
+        """The run-store shape: one RunResult, latency samples intact."""
+        metrics = {
+            "achieved_rate": MetricStats(
+                "achieved_rate", [self.achieved_rate]
+            ),
+            "offered_rate": MetricStats("offered_rate", [self.offered_rate]),
+            "shed_fraction": MetricStats(
+                "shed_fraction", [self.shed_fraction]
+            ),
+            "error_fraction": MetricStats(
+                "error_fraction", [self.error_fraction]
+            ),
+            "queue_depth_max": MetricStats(
+                "queue_depth_max", [float(self.queue_depth_max)]
+            ),
+        }
+        if self.latencies:
+            metrics["latency"] = self.latency_stats()
+        extra: dict[str, Any] = {
+            "load_plan": self.plan.as_dict(),
+            "clock": self.clock,
+            "target": self.target_name,
+            "concurrency": self.concurrency,
+            "queue_capacity": self.queue_capacity,
+            "offered": self.offered,
+            "completed": self.completed,
+            "shed": self.shed,
+            "errors": self.errors,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+        if self.verdict is not None:
+            extra["slo_verdict"] = self.verdict.as_dict()
+        return RunResult(
+            test_name=f"load:{self.plan.mode}-{self.plan.arrival}"
+            if self.plan.mode == "open"
+            else "load:closed",
+            workload=self.target_name,
+            engine=f"loadgen-{self.clock}",
+            repeats=1,
+            metrics=metrics,
+            extra=extra,
+        )
+
+    def summary(self) -> dict[str, Any]:
+        """A flat JSON-friendly digest (CLI ``--json``, benchmarks)."""
+        payload: dict[str, Any] = {
+            "mode": self.plan.mode,
+            "arrival": self.plan.arrival,
+            "target": self.target_name,
+            "clock": self.clock,
+            "target_rate": self.plan.rate,
+            "offered": self.offered,
+            "completed": self.completed,
+            "shed": self.shed,
+            "errors": self.errors,
+            "offered_rate": self.offered_rate,
+            "achieved_rate": self.achieved_rate,
+            "shed_fraction": self.shed_fraction,
+            "error_fraction": self.error_fraction,
+            "queue_depth_max": self.queue_depth_max,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+        if self.latencies:
+            stats = self.latency_stats()
+            payload["latency"] = {
+                "mean": stats.mean,
+                "p50": stats.p50,
+                "p95": stats.p95,
+                "p99": stats.p99,
+                "max": stats.maximum,
+                "n": len(stats.samples),
+            }
+        if self.verdict is not None:
+            payload["slo"] = self.verdict.as_dict()
+        if self.record_id is not None:
+            payload["record_id"] = self.record_id
+        return payload
+
+
+def load_fingerprint(
+    plan: LoadPlan,
+    target_name: str,
+    *,
+    clock: str,
+    concurrency: int,
+    queue_capacity: int,
+) -> dict[str, Any]:
+    """The spec-fingerprint analogue for load runs.
+
+    Everything that changes *what load is offered* belongs here, so runs
+    of the same plan against the same target group into one comparable
+    series in the run store (the SLO policy judges measurements, it does
+    not change them — it stays out).
+    """
+    return {
+        "kind": "loadgen",
+        "target": target_name,
+        "clock": clock,
+        "concurrency": concurrency,
+        "queue_capacity": queue_capacity,
+        **plan.as_dict(),
+    }
+
+
+class LoadRunner:
+    """Drives one target under one plan; measures; judges; records."""
+
+    def __init__(
+        self,
+        target: LoadTarget,
+        *,
+        clock: str = "virtual",
+        concurrency: int = 1,
+        queue_capacity: int = 64,
+        tracer: Tracer | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+        time_source: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if clock not in CLOCK_KINDS:
+            raise LoadGenError(
+                f"unknown clock {clock!r}; available: "
+                f"{', '.join(CLOCK_KINDS)}"
+            )
+        if concurrency <= 0:
+            raise LoadGenError(
+                f"concurrency must be positive, got {concurrency}"
+            )
+        if queue_capacity < 0:
+            raise LoadGenError(
+                f"queue_capacity must be non-negative, got {queue_capacity}"
+            )
+        self.target = target
+        self.clock = clock
+        self.concurrency = concurrency
+        self.queue_capacity = queue_capacity
+        self.tracer = tracer or NULL_TRACER
+        self._sleep = sleep
+        self._time = time_source
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        plan: LoadPlan,
+        *,
+        slo: SLOPolicy | None = None,
+        store: Any = None,
+    ) -> LoadReport:
+        """Execute the plan; returns the report (verdict attached when a
+        policy is given, recorded into ``store`` when one is given)."""
+        plan.validate()
+        report = LoadReport(
+            plan=plan,
+            target_name=self.target.name,
+            clock=self.clock,
+            concurrency=self.concurrency,
+            queue_capacity=self.queue_capacity,
+        )
+        self.target.setup()
+        try:
+            report.target_name = self.target.name  # setup may refine it
+            with self.tracer.activate():
+                with self.tracer.span(
+                    "load",
+                    mode=plan.mode,
+                    arrival=plan.arrival,
+                    rate=plan.rate,
+                    duration=plan.duration,
+                    clock=self.clock,
+                    target=report.target_name,
+                ) as span:
+                    if plan.mode == "closed":
+                        self._run_closed(plan, report)
+                    elif self.clock == "virtual":
+                        self._run_open_virtual(plan, report)
+                    else:
+                        self._run_open_real(plan, report)
+                    span.incr("load.offered", report.offered)
+                    span.incr("load.completed", report.completed)
+                    span.incr("load.shed", report.shed)
+                    span.incr("load.errors", report.errors)
+                    span.record_max(
+                        "load.queue_depth", report.queue_depth_max
+                    )
+        finally:
+            self.target.teardown()
+        if slo is not None:
+            report.verdict = slo.evaluate(report)
+        if store is not None:
+            self._record(report, store)
+        return report
+
+    # ------------------------------------------------------------------
+    # Virtual clock: discrete-event simulation
+    # ------------------------------------------------------------------
+
+    def _service_rng(self, plan: LoadPlan) -> np.random.Generator:
+        return np.random.default_rng(mix_seed(plan.seed, _SERVICE_STREAM))
+
+    def _serve(
+        self,
+        request_index: int,
+        rng: np.random.Generator,
+    ) -> tuple[float | None, str]:
+        """One request's service seconds, or its failure disposition.
+
+        Returns ``(service_seconds, "ok")``, ``(None, "shed")``, or
+        ``(None, "error")``.  Executing targets really run here; their
+        measured wall time becomes the virtual service time.
+        """
+        simulated = self.target.service_time(request_index, rng)
+        if simulated is not None:
+            return simulated, "ok"
+        started = time.perf_counter()
+        try:
+            self.target.execute(request_index)
+        except (RequestShed, AdmissionError):
+            return None, "shed"
+        except Exception:  # noqa: BLE001 — per-request fault isolation
+            return None, "error"
+        return time.perf_counter() - started, "ok"
+
+    def _run_open_virtual(self, plan: LoadPlan, report: LoadReport) -> None:
+        arrivals = arrival_schedule(
+            plan.arrival,
+            plan.rate,
+            plan.duration,
+            plan.seed,
+            **plan.arrival_options,
+        )
+        rng = self._service_rng(plan)
+        free = [0.0] * self.concurrency
+        heapq.heapify(free)
+        # FIFO + earliest-free-server makes start times nondecreasing,
+        # so the waiting set is a deque drained from the front.
+        waiting_starts: deque[float] = deque()
+        last_completion = 0.0
+        for index, arrived in enumerate(arrivals):
+            report.offered += 1
+            while waiting_starts and waiting_starts[0] <= arrived:
+                waiting_starts.popleft()
+            depth = len(waiting_starts)
+            report.queue_depth_samples.append(depth)
+            # Shed only when every waiting slot is taken AND no server
+            # is idle: queue_capacity=0 still serves what a free server
+            # can take immediately.
+            if depth >= self.queue_capacity and free[0] > arrived:
+                report.shed += 1
+                continue
+            service, disposition = self._serve(index, rng)
+            if disposition == "shed":
+                report.shed += 1
+                continue
+            if disposition == "error":
+                report.errors += 1
+                continue
+            free_at = heapq.heappop(free)
+            start = max(arrived, free_at)
+            completion = start + service
+            heapq.heappush(free, completion)
+            waiting_starts.append(start)
+            report.completed += 1
+            report.latencies.append(completion - arrived)
+            last_completion = max(last_completion, completion)
+        report.elapsed_seconds = max(plan.duration, last_completion)
+
+    def _run_closed(self, plan: LoadPlan, report: LoadReport) -> None:
+        """Closed loop: N sessions, think → issue → wait → think …
+
+        Runs as a virtual-clock simulation regardless of the configured
+        clock — a closed population self-paces, so there is nothing a
+        wall clock would add except nondeterminism.
+        """
+        service_rng = self._service_rng(plan)
+        think_rng = np.random.default_rng(
+            mix_seed(plan.seed, _THINK_STREAM)
+        )
+
+        def think() -> float:
+            if plan.think_time <= 0:
+                return 0.0
+            return float(think_rng.exponential(plan.think_time))
+
+        free = [0.0] * self.concurrency
+        heapq.heapify(free)
+        waiting_starts: deque[float] = deque()
+        # (next issue time, session id) — session id breaks ties
+        # deterministically.
+        sessions = [(think(), index) for index in range(plan.sessions)]
+        heapq.heapify(sessions)
+        last_completion = 0.0
+        index = 0
+        while sessions:
+            issued_at, session = heapq.heappop(sessions)
+            if issued_at >= plan.duration:
+                continue
+            report.offered += 1
+            while waiting_starts and waiting_starts[0] <= issued_at:
+                waiting_starts.popleft()
+            report.queue_depth_samples.append(len(waiting_starts))
+            service, disposition = self._serve(index, service_rng)
+            index += 1
+            if disposition != "ok":
+                if disposition == "shed":
+                    report.shed += 1
+                else:
+                    report.errors += 1
+                heapq.heappush(
+                    sessions, (issued_at + max(think(), 1e-6), session)
+                )
+                continue
+            free_at = heapq.heappop(free)
+            start = max(issued_at, free_at)
+            completion = start + service
+            heapq.heappush(free, completion)
+            waiting_starts.append(start)
+            report.completed += 1
+            report.latencies.append(completion - issued_at)
+            last_completion = max(last_completion, completion)
+            heapq.heappush(sessions, (completion + think(), session))
+        report.elapsed_seconds = max(plan.duration, last_completion)
+
+    # ------------------------------------------------------------------
+    # Real clock: paced dispatch onto a worker pool
+    # ------------------------------------------------------------------
+
+    def _run_open_real(self, plan: LoadPlan, report: LoadReport) -> None:
+        arrivals = arrival_schedule(
+            plan.arrival,
+            plan.rate,
+            plan.duration,
+            plan.seed,
+            **plan.arrival_options,
+        )
+        rng = self._service_rng(plan)
+        lock = threading.Lock()
+        in_flight = 0
+        epoch = self._time()
+
+        def worker(request_index: int, intended: float) -> None:
+            nonlocal in_flight
+            disposition = "ok"
+            try:
+                simulated = self.target.service_time(request_index, rng)
+                if simulated is not None:
+                    self._sleep(simulated)
+                else:
+                    self.target.execute(request_index)
+            except (RequestShed, AdmissionError):
+                disposition = "shed"
+            except Exception:  # noqa: BLE001 — per-request isolation
+                disposition = "error"
+            completed_at = self._time() - epoch
+            with lock:
+                in_flight -= 1
+                if disposition == "ok":
+                    report.completed += 1
+                    # Latency from the *intended* arrival: queueing
+                    # delay counts, coordinated omission does not hide.
+                    report.latencies.append(
+                        max(0.0, completed_at - intended)
+                    )
+                elif disposition == "shed":
+                    report.shed += 1
+                else:
+                    report.errors += 1
+
+        with ThreadPoolExecutor(max_workers=self.concurrency) as pool:
+            for index, arrived in enumerate(arrivals):
+                now = self._time() - epoch
+                if arrived > now:
+                    self._sleep(arrived - now)
+                with lock:
+                    report.offered += 1
+                    depth = max(0, in_flight - self.concurrency)
+                    report.queue_depth_samples.append(depth)
+                    # Workers + waiting slots all taken → shed (the
+                    # same door rule as the virtual queue).
+                    if in_flight >= self.concurrency + self.queue_capacity:
+                        report.shed += 1
+                        continue
+                    in_flight += 1
+                pool.submit(worker, index, arrived)
+        report.elapsed_seconds = max(
+            plan.duration, self._time() - epoch
+        )
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def _record(self, report: LoadReport, store: Any) -> None:
+        record = store.record_outcome(
+            report.as_run_result(),
+            load_fingerprint(
+                report.plan,
+                report.target_name,
+                clock=self.clock,
+                concurrency=self.concurrency,
+                queue_capacity=self.queue_capacity,
+            ),
+        )
+        report.record_id = record.record_id

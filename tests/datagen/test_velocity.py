@@ -162,3 +162,164 @@ class TestPacedStream:
         events = self._events(rate=100.0, count=1)
         with pytest.raises(GenerationError):
             PacedStream(events, target_rate=10.0).delivered_rate()
+
+
+class TestVelocityBugfixes:
+    """Regression tests for the three velocity.py failure modes."""
+
+    def _events(self, rate: float, count: int):
+        generator = StreamGenerator(arrivals=PoissonArrivals(rate), seed=6)
+        return generator.generate(count).records
+
+    # -- PacedStream.delivered_rate slept through real-time replays -----
+
+    def test_delivered_rate_never_sleeps(self):
+        """Asking a real_time stream for its rate must not replay it.
+
+        delivered_rate() used to iterate the stream itself, so a
+        real_time=True stream slept through the entire schedule just to
+        report a number the virtual timeline already knew.
+        """
+        sleeps: list[float] = []
+        events = self._events(rate=10000.0, count=50)
+        paced = PacedStream(
+            events, target_rate=100.0, real_time=True, sleep=sleeps.append
+        )
+        rate = paced.delivered_rate()
+        assert sleeps == []
+        assert rate == pytest.approx(100.0, rel=0.05)
+
+    def test_schedule_matches_iteration(self):
+        events = self._events(rate=500.0, count=60)
+        paced = PacedStream(events, target_rate=200.0)
+        assert paced.schedule() == list(paced)
+
+    def test_schedule_never_sleeps(self):
+        sleeps: list[float] = []
+        paced = PacedStream(
+            self._events(rate=10000.0, count=20),
+            target_rate=50.0,
+            real_time=True,
+            sleep=sleeps.append,
+        )
+        paced.schedule()
+        assert sleeps == []
+
+    def test_real_time_sleep_schedule(self):
+        """The injected sleep must be called with the schedule's gaps."""
+        sleeps: list[float] = []
+        events = self._events(rate=10000.0, count=30)
+        paced = PacedStream(
+            events, target_rate=100.0, real_time=True, sleep=sleeps.append
+        )
+        deliveries = [delivery for delivery, _ in paced]
+        # Total slept time walks the clock to the final delivery.
+        assert sum(sleeps) == pytest.approx(deliveries[-1])
+
+    def test_bursty_events_are_spread_to_the_target_rate(self):
+        from repro.datagen.stream import StreamEvent
+
+        # An on/off shape: a 5000/s burst, a quiet gap, another burst.
+        stamps = [i * 0.0002 for i in range(50)]
+        stamps += [1.0 + i * 0.0002 for i in range(50)]
+        events = [
+            StreamEvent(stamp, key, 0.0, EventKind.INSERT)
+            for key, stamp in enumerate(stamps)
+        ]
+        paced = PacedStream(events, target_rate=100.0)
+        pairs = list(paced)
+        deliveries = [delivery for delivery, _ in pairs]
+        # The pacing invariant: event i is never delivered before
+        # i / rate, so no prefix of the replay exceeds the target rate.
+        interval = 1.0 / 100.0
+        assert all(
+            delivery >= index * interval - 1e-9
+            for index, delivery in enumerate(deliveries)
+        )
+        assert deliveries == sorted(deliveries)
+        # The cap really engaged: some burst event had to wait.
+        assert any(
+            delivery > event.timestamp + 1e-9 for delivery, event in pairs
+        )
+
+    # -- UpdateScheduler replayed the same window forever ---------------
+
+    def test_successive_windows_differ(self):
+        """Windows must not replay the identical update sequence.
+
+        plan() used to seed from (seed, key_space) alone, so every
+        window of a long-running update stream hit the same keys in the
+        same order with the same values.
+        """
+        scheduler = UpdateScheduler(200.0, seed=11)
+        first = scheduler.plan(1.0, key_space=1000, window=0)
+        second = scheduler.plan(1.0, key_space=1000, window=1)
+        assert [e.key for e in first] != [e.key for e in second]
+        assert [e.value for e in first] != [e.value for e in second]
+
+    def test_windows_are_individually_deterministic(self):
+        scheduler = UpdateScheduler(100.0, seed=12)
+        for window in (0, 3):
+            again = UpdateScheduler(100.0, seed=12)
+            assert scheduler.plan(2.0, 50, window=window) == again.plan(
+                2.0, 50, window=window
+            )
+
+    def test_start_offset_shifts_timestamps(self):
+        scheduler = UpdateScheduler(100.0, seed=13)
+        base = scheduler.plan(2.0, 50, window=4)
+        shifted = scheduler.plan(2.0, 50, window=4, start_offset=8.0)
+        assert all(
+            s.timestamp == pytest.approx(b.timestamp + 8.0)
+            and s.key == b.key
+            and s.value == b.value
+            and s.kind is b.kind
+            for b, s in zip(base, shifted)
+        )
+        assert all(8.0 <= e.timestamp <= 10.0 for e in shifted)
+
+    def test_consecutive_windows_form_a_timeline(self):
+        scheduler = UpdateScheduler(50.0, seed=14)
+        timeline = []
+        for window in range(3):
+            timeline.extend(
+                scheduler.plan(
+                    1.0, 20, window=window, start_offset=float(window)
+                )
+            )
+        stamps = [e.timestamp for e in timeline]
+        assert stamps == sorted(stamps)
+        assert stamps[-1] > 2.0  # the third window really starts later
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(GenerationError):
+            UpdateScheduler(1.0).plan(1.0, key_space=1, window=-1)
+
+    # -- VelocityReport reported rate 0.0 below timer resolution --------
+
+    def test_zero_wall_clock_is_a_floor_not_zero(self):
+        """An instant run must not report a rate of 0.0 (the opposite
+        of what happened); it clamps and flags instead."""
+        report = VelocityReport(
+            volume=100, num_partitions=2,
+            partition_seconds=[0.0, 0.0], wall_seconds=0.0,
+        )
+        assert report.wall_rate > 0.0
+        assert report.simulated_rate > 0.0
+        assert report.below_timer_resolution
+
+    def test_zero_over_zero_speedup_is_neutral(self):
+        report = VelocityReport(
+            volume=10, num_partitions=1,
+            partition_seconds=[0.0], wall_seconds=0.0,
+        )
+        assert report.speedup == pytest.approx(1.0)
+
+    def test_measurable_report_is_not_flagged(self):
+        report = VelocityReport(
+            volume=100, num_partitions=2,
+            partition_seconds=[1.0, 1.0], wall_seconds=2.0,
+        )
+        assert not report.below_timer_resolution
+        assert report.wall_rate == pytest.approx(50.0)
+        assert report.speedup == pytest.approx(2.0)

@@ -99,3 +99,45 @@ class TestDeprecationShims:
         assert json.loads(legacy) == json.loads(
             render_results(results, style="json")
         )
+
+
+class TestLoadFacade:
+    def test_load_is_a_blessed_name(self):
+        assert "load" in api.__all__
+        assert hasattr(repro, "load")
+
+    def test_synthetic_load_returns_a_judged_report(self):
+        report = api.load(
+            rate=100.0, duration=2.0, seed=4,
+            slo=api.SLOPolicy(p99_budget=0.5),
+        )
+        assert report.verdict is not None
+        assert report.verdict.passed
+        assert report.completed > 0
+        assert report.latency_stats().p50 > 0
+
+    def test_load_records_when_asked(self, tmp_path):
+        report = api.load(
+            rate=50.0, duration=1.0, record=True,
+            store_dir=str(tmp_path / "store"),
+        )
+        assert report.record_id is not None
+        store = api.RunStore(str(tmp_path / "store"))
+        assert store.get(report.record_id).test_name == "load:open-poisson"
+
+    def test_load_against_a_prescribed_workload(self):
+        report = api.load(
+            "micro-wordcount", rate=10.0, duration=0.5, volume=30,
+        )
+        assert report.completed > 0
+        assert report.target_name.startswith("workload:micro-wordcount@")
+
+    def test_arrival_options_pass_through(self):
+        report = api.load(
+            arrival="diurnal", rate=100.0, duration=2.0, period=2.0,
+            amplitude=0.5,
+        )
+        assert report.plan.arrival_options == {
+            "period": 2.0, "amplitude": 0.5,
+        }
+        assert report.completed > 0

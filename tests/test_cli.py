@@ -507,3 +507,97 @@ class TestServiceVerbs:
                                "--store-dir", str(store))
         assert code == 0
         assert "j0001" in output
+
+
+class TestLoad:
+    def test_synthetic_run_passes_default_slo(self):
+        code, output = run_cli(
+            "load", "--rate", "100", "--duration", "2", "--seed", "3",
+        )
+        assert code == 0
+        assert "SLO: PASS" in output
+        assert "latency p50" in output
+        assert "achieved_rate" in output
+
+    def test_json_report_has_the_acceptance_fields(self):
+        code, output = run_cli(
+            "load", "--arrival", "poisson", "--rate", "150",
+            "--duration", "2", "--slo-p99", "0.1", "--json",
+        )
+        assert code == 0
+        payload = json.loads(output)
+        for field in ("offered_rate", "achieved_rate", "shed_fraction",
+                      "error_fraction", "latency", "slo"):
+            assert field in payload
+        for quantile in ("p50", "p95", "p99"):
+            assert quantile in payload["latency"]
+        assert payload["slo"]["passed"] is True
+        assert any(
+            check["name"] == "latency_p99"
+            for check in payload["slo"]["checks"]
+        )
+
+    def test_same_seed_same_verdict(self):
+        """Acceptance: same seed → byte-identical report and verdict."""
+        outputs = [
+            run_cli(
+                "load", "--arrival", "bursty", "--rate", "200",
+                "--duration", "3", "--seed", "11", "--json",
+            )
+            for _ in range(2)
+        ]
+        assert outputs[0] == outputs[1]
+
+    def test_violated_slo_exits_nonzero(self):
+        code, output = run_cli(
+            "load", "--rate", "100", "--duration", "2",
+            "--slo-p99", "1e-9",
+        )
+        assert code == 1
+        assert "SLO: FAIL" in output
+        assert "VIOLATED" in output
+
+    def test_overload_sheds_and_fails(self):
+        code, output = run_cli(
+            "load", "--arrival", "constant", "--rate", "200",
+            "--duration", "1", "--concurrency", "1",
+            "--queue-capacity", "2", "--mean-service", "0.1",
+            "--service-distribution", "constant",
+        )
+        assert code == 1
+        assert "shed_fraction" in output
+
+    def test_record_lands_in_run_store(self, tmp_path):
+        store = str(tmp_path / "store")
+        code, output = run_cli(
+            "load", "--rate", "50", "--duration", "1",
+            "--record", "--store-dir", store,
+        )
+        assert code == 0
+        assert "recorded r0001" in output
+        code, output = run_cli("runs", "list", "--store-dir", store)
+        assert code == 0
+        assert "load:open-poisson" in output
+        assert "loadgen-virtual" in output
+
+    def test_closed_loop_flags(self):
+        code, output = run_cli(
+            "load", "--sessions", "3", "--think-time", "0.01",
+            "--duration", "1", "--seed", "5",
+        )
+        assert code == 0
+        assert "3 sessions (closed loop)" in output
+
+    def test_service_mode_smoke(self, tmp_path):
+        code, output = run_cli(
+            "load", "--service", "--arrival", "poisson",
+            "--rate", "4", "--duration", "1",
+            "--slo-min-rate", "0.1", "--slo-p99", "30",
+            "--store-dir", str(tmp_path / "store"),
+        )
+        assert code == 0
+        assert "service:micro-wordcount" in output
+
+    def test_unknown_arrival_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            run_cli("load", "--arrival", "sawtooth")

@@ -1,0 +1,179 @@
+"""E14 — batch-at-a-time columnar execution vs the row oracle.
+
+Runs four query shapes (projection scan, selective filter, grouped
+aggregate, equi-join) on the same relational engine under both
+execution layouts and verifies the refactor's two contracts:
+
+1. **bit-identity** — the columnar plan returns exactly the rows the
+   row-at-a-time plan returns, in the same order (the row path is the
+   correctness oracle; compared by ``repr`` so ``1`` vs ``1.0`` and
+   ``True`` vs ``1`` cannot slip through);
+2. **no slower on the hot shapes** — at the largest volume the
+   vectorized scan/filter/aggregate are at least row-speed
+   (``speedup_vs_row >= 1.0``), the property the CI gate
+   ``gate_columnar_execution.py`` enforces on every recorded row.
+
+Each run appends a run-store-schema row (see ``_history``) to
+``BENCH_columnar_execution.json`` so the row-vs-columnar deltas
+accumulate into a perf trajectory across revisions.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from pathlib import Path
+
+from _history import append_history
+from conftest import print_banner
+
+from repro.engines.dbms import Aggregate, DbmsEngine, col, lit
+from repro.engines.dbms.planner import JoinSpec, Query
+from repro.execution.report import ascii_table
+
+VOLUMES = (2_000, 8_000, 20_000)
+QUERIES = ("scan", "filter", "aggregate", "join")
+#: The shapes the CI gate bounds at the largest volume.
+GATED_QUERIES = ("scan", "filter", "aggregate")
+TIMING_ROUNDS = 5
+SERIES = "columnar_execution.vectorized"
+
+RESULTS_FILE = Path(__file__).parent / "BENCH_columnar_execution.json"
+
+
+def _build_engine(volume: int) -> DbmsEngine:
+    rng = random.Random(volume)
+    engine = DbmsEngine()
+    engine.create_table("events", ["id", "user", "amount", "category"])
+    engine.insert(
+        "events",
+        [
+            (
+                i,
+                f"user{i % 500}",
+                rng.randint(1, 1000),
+                f"cat{i % 20}",
+            )
+            for i in range(volume)
+        ],
+    )
+    engine.create_table("categories", ["name", "weight"])
+    engine.insert("categories", [(f"cat{i}", i * 10) for i in range(20)])
+    return engine
+
+
+def _queries() -> dict[str, Query]:
+    return {
+        "scan": Query(
+            table="events",
+            projection=[("id", col("id")), ("amount", col("amount"))],
+        ),
+        "filter": Query(
+            table="events",
+            predicate=col("amount") > lit(500),
+            projection=[
+                ("id", col("id")),
+                ("user", col("user")),
+                ("amount", col("amount")),
+            ],
+        ),
+        "aggregate": Query(
+            table="events",
+            group_by=["category"],
+            aggregates=[
+                Aggregate("sum", "amount", "total"),
+                Aggregate("count", None, "n"),
+            ],
+        ),
+        "join": Query(
+            table="events",
+            joins=[JoinSpec("categories", "category", "name")],
+            predicate=col("amount") > lit(800),
+            projection=[("id", col("id")), ("weight", col("weight"))],
+        ),
+    }
+
+
+def _best_of(action, rounds: int = TIMING_ROUNDS) -> float:
+    """Min-of-N wall time: the least-noisy point estimate per shape."""
+    times = []
+    for _ in range(rounds):
+        started = time.perf_counter()
+        action()
+        times.append(time.perf_counter() - started)
+    return min(times)
+
+
+def _measure_volume(volume: int) -> dict[str, dict[str, float]]:
+    engine = _build_engine(volume)
+    measurements: dict[str, dict[str, float]] = {}
+    # Warm the columnar view once: the transpose is a cached one-time
+    # cost of the storage layout, not a per-query cost.
+    engine.execute(_queries()["scan"], layout="columnar")
+    for name, query in _queries().items():
+        row_result = engine.execute(query, layout="row")
+        columnar_result = engine.execute(query, layout="columnar")
+        assert columnar_result.plan["layout"] == "columnar", name
+        assert [repr(r) for r in row_result.rows] == [
+            repr(r) for r in columnar_result.rows
+        ], f"{name}@{volume}: columnar result diverged from the row oracle"
+        row_seconds = _best_of(lambda: engine.execute(query, layout="row"))
+        columnar_seconds = _best_of(
+            lambda: engine.execute(query, layout="columnar")
+        )
+        measurements[name] = {
+            "row_seconds": row_seconds,
+            "columnar_seconds": columnar_seconds,
+            "speedup": row_seconds / columnar_seconds,
+        }
+    return measurements
+
+
+def test_columnar_vs_row(benchmark):
+    def drive():
+        return {
+            str(volume): _measure_volume(volume) for volume in VOLUMES
+        }
+
+    by_volume = benchmark.pedantic(drive, rounds=1, iterations=1)
+    largest = by_volume[str(max(VOLUMES))]
+    speedups = {name: largest[name]["speedup"] for name in QUERIES}
+
+    print_banner("E14", "columnar execution — row vs batch-at-a-time")
+    print(
+        ascii_table(
+            [
+                {
+                    "query": name,
+                    "row_ms": f"{largest[name]['row_seconds'] * 1e3:.2f}",
+                    "columnar_ms": (
+                        f"{largest[name]['columnar_seconds'] * 1e3:.2f}"
+                    ),
+                    "speedup": f"{speedups[name]:.2f}x",
+                }
+                for name in QUERIES
+            ]
+        )
+    )
+
+    # The property the CI gate enforces on this series: the vectorized
+    # hot shapes must not lose to the row oracle they replace.
+    for name in GATED_QUERIES:
+        assert speedups[name] >= 1.0, (
+            f"columnar {name} is slower than row at volume {max(VOLUMES)}: "
+            f"{speedups[name]:.2f}x"
+        )
+
+    append_history(
+        RESULTS_FILE,
+        SERIES,
+        {
+            "volumes": list(VOLUMES),
+            "queries": list(QUERIES),
+            "timing": f"best of {TIMING_ROUNDS}",
+        },
+        {
+            "by_volume": by_volume,
+            "speedup_vs_row": speedups,
+        },
+    )

@@ -44,6 +44,61 @@ def test_relational_query_dbms_vs_mapreduce(benchmark):
     assert factors["dbms"] > 1.0
 
 
+def test_relational_query_row_vs_columnar(benchmark):
+    """The same cross-system prescription under both execution layouts:
+    identical deterministic answers, and the recorded row-vs-columnar
+    delta on the full five-step path (both engines' batch paths — DBMS
+    vectorized operators, MapReduce combiner batching — engage)."""
+    from repro import api
+
+    def run_layouts():
+        reports = {}
+        for layout in ("row", "columnar"):
+            reports[layout] = api.run(
+                "database-aggregate-join",
+                engines=["dbms", "mapreduce"],
+                volume=400,
+                layout=layout,
+            )
+        return reports
+
+    reports = benchmark.pedantic(run_layouts, rounds=1, iterations=1)
+    rows = []
+    for layout, report in reports.items():
+        for result in report.results:
+            rows.append(
+                {
+                    "layout": layout,
+                    "engine": result.engine,
+                    "duration_s": f"{result.mean('duration'):.4f}",
+                    "executed as": result.extra.get("layout", "row"),
+                }
+            )
+    print_banner("E10", "select→join→aggregate — row vs columnar layout")
+    print(ascii_table(rows))
+
+    def result_for(layout, engine_name):
+        for result in reports[layout].results:
+            if result.engine == engine_name:
+                return result
+        raise AssertionError(f"no {engine_name} result under {layout}")
+
+    # The DBMS honestly reports the layout it executed, and the
+    # columnar plan is the vectorized tree, not a row fallback.
+    assert result_for("row", "dbms").extra["layout"] == "row"
+    columnar_dbms = result_for("columnar", "dbms")
+    assert columnar_dbms.extra["layout"] == "columnar"
+    assert columnar_dbms.extra["plan"]["layout"] == "columnar"
+    # MapReduce's deterministic architecture metrics agree across
+    # layouts: combiner batching changes how the work runs (per-batch
+    # partial aggregation), never the work itself.
+    for name in ("throughput", "ops_per_second", "data_rate",
+                 "network_rate", "energy", "cost"):
+        assert result_for("row", "mapreduce").mean(name) == result_for(
+            "columnar", "mapreduce"
+        ).mean(name), name
+
+
 def test_ycsb_mix_nosql_vs_dbms(benchmark):
     harness = BenchmarkHarness(TestRunner(options=RunnerOptions(repeats=2)))
 

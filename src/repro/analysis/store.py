@@ -72,6 +72,7 @@ def spec_fingerprint(
     chunk_size: int | None = None,
     executor: str = "serial",
     data_partitions: int | None = None,
+    layout: str = "row",
 ) -> dict[str, Any]:
     """The canonical spec fingerprint two comparable runs must share.
 
@@ -79,9 +80,13 @@ def spec_fingerprint(
     that changes *how fast the code is* (git SHA, python version,
     hardware) belongs in :func:`environment_fingerprint` — so a code
     change keeps the series intact and shows up as movement within it.
+
+    ``layout`` joins the payload only when non-default ("columnar"):
+    every historical record was implicitly row-layout, and omitting the
+    default keeps those series byte-identical and comparable.
     """
     params = dict(params or {})
-    return {
+    fingerprint = {
         "prescription": prescription,
         "workload": workload or prescription,
         "engine": engine,
@@ -93,6 +98,9 @@ def spec_fingerprint(
         "executor": executor,
         "data_partitions": data_partitions or 1,
     }
+    if layout != "row":
+        fingerprint["layout"] = layout
+    return fingerprint
 
 
 _ENV_CACHE: dict[str, Any] | None = None

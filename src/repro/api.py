@@ -81,6 +81,7 @@ def sweep(
     volumes: list[int] | None = None,
     parameter: str | None = None,
     values: list[Any] | None = None,
+    layout: str = "row",
     repository: PrescriptionRepository | None = None,
     **overrides: Any,
 ) -> SweepReport:
@@ -88,8 +89,9 @@ def sweep(
 
     Exactly one axis: pass ``volumes=[...]`` for a volume sweep, or
     ``parameter="name", values=[...]`` for a workload-parameter sweep.
-    Extra keyword arguments are fixed workload overrides applied to
-    every point.
+    ``layout="columnar"`` runs every point through the engine's
+    batch-at-a-time columnar configuration.  Extra keyword arguments
+    are fixed workload overrides applied to every point.
     """
     from repro.core.errors import SpecError
     from repro.core.test_generator import TestGenerator
@@ -107,10 +109,11 @@ def sweep(
     try:
         if volumes is not None:
             return harness.volume_sweep(
-                prescription, engine, volumes, **overrides
+                prescription, engine, volumes, layout=layout, **overrides
             )
         return harness.param_sweep(
-            prescription, engine, parameter, values, **overrides
+            prescription, engine, parameter, values, layout=layout,
+            **overrides,
         )
     finally:
         runner.close()
@@ -189,6 +192,7 @@ def load(
     engine: str | None = None,
     volume: int | None = None,
     params: dict[str, Any] | None = None,
+    layout: str = "row",
     service: bool = False,
     schedulers: int = 2,
     mean_service: float = 0.005,
@@ -231,6 +235,7 @@ def load(
             engine=engine,
             volume=volume,
             params=params,
+            layout=layout,
             repository=repository,
         )
     else:

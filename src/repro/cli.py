@@ -80,6 +80,11 @@ def _common_parent(
     parent.add_argument("--max-workers", dest="workers", type=int,
                         default=argparse.SUPPRESS,
                         help=argparse.SUPPRESS)
+    parent.add_argument("--layout", default="row",
+                        choices=["row", "columnar"],
+                        help="execution layout: row-at-a-time iterators "
+                             "(the correctness oracle) or batch-at-a-time "
+                             "columnar operators")
     return parent
 
 
@@ -502,6 +507,7 @@ def _command_run(args, out) -> int:
         task_timeout=args.task_timeout,
         record=args.record or args.history,
         inject_latency=args.inject_latency,
+        layout=args.layout,
         **spec_overrides,
     )
     tracing = args.trace or args.trace_out is not None
@@ -878,6 +884,7 @@ def _submit_spec(args):
         max_workers=args.workers,
         record=args.record,
         store_dir=args.store_dir,
+        layout=args.layout,
     )
 
 
@@ -974,6 +981,7 @@ def _command_load(args, out) -> int:
         engine=args.engine,
         volume=args.volume,
         params=_parse_params(args.param),
+        layout=args.layout,
         service=args.service,
         schedulers=args.schedulers,
         mean_service=args.mean_service,

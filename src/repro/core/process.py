@@ -206,17 +206,30 @@ class BenchmarkingProcess:
         # engine is wrapped so every execution stalls by the configured
         # latency — deterministic, and invisible to the spec fingerprint
         # (it models a code-level slowdown, not a different benchmark).
+        # The columnar layout rides the same per-engine configuration
+        # path: batch-at-a-time operators on the DBMS, per-partition
+        # combiner batching on MapReduce; engines with no layout notion
+        # run bare.
+        from repro.execution.config import SystemConfiguration, layout_options
+
         runner.configurations = {}
+        engine_options = layout_options(spec.layout)
+        slowdown = None
         if spec.inject_latency:
             from repro.engines.faults import FaultSpec
-            from repro.execution.config import SystemConfiguration
 
             slowdown = FaultSpec(
                 latency_rate=1.0, latency_seconds=spec.inject_latency
             )
+        if engine_options or slowdown is not None:
             runner.configurations = {
-                engine_name: SystemConfiguration(engine_name, fault=slowdown)
+                engine_name: SystemConfiguration(
+                    engine_name,
+                    options=dict(engine_options.get(engine_name, {})),
+                    fault=slowdown,
+                )
                 for engine_name in engine_names
+                if slowdown is not None or engine_name in engine_options
             }
         run_tasks = [
             RunTask(
@@ -244,6 +257,7 @@ class BenchmarkingProcess:
         execution_detail: dict[str, Any] = {
             "runs": spec.repeats * len(tests),
             "executor": spec.executor,
+            "layout": spec.layout,
         }
         if failures:
             # The captured per-task failure records (submission order):
@@ -323,6 +337,7 @@ class BenchmarkingProcess:
                 chunk_size=spec.chunk_size,
                 executor=spec.executor,
                 data_partitions=spec.data_partitions,
+                layout=spec.layout,
             )
             record = store.record_outcome(
                 outcome, fingerprint, environment=environment

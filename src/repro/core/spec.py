@@ -146,6 +146,11 @@ class BenchmarkSpec:
     #: "the code got slower" without changing the spec fingerprint —
     #: the knob the regression-gate CI job uses to prove the gate trips.
     inject_latency: float | None = None
+    #: Execution layout: "row" (the historical tuple-at-a-time path) or
+    #: "columnar" (batch-at-a-time vectorized operators on the DBMS and
+    #: per-partition combiner batching on MapReduce).  The default is
+    #: version-safe: old serialized specs simply get "row".
+    layout: str = "row"
 
     @property
     def should_record(self) -> bool:
@@ -267,6 +272,10 @@ class BenchmarkSpec:
             raise SpecError(
                 f"inject_latency must be non-negative, got "
                 f"{self.inject_latency}"
+            )
+        if self.layout not in ("row", "columnar"):
+            raise SpecError(
+                f"layout must be 'row' or 'columnar', got {self.layout!r}"
             )
         prescription = repository.get(self.prescription)
         workload_name = prescription.workload

@@ -230,8 +230,15 @@ class TestGenerator:
         volume_override: int | None = None,
         partitions_override: int | None = None,
         chunk_size: int | None = None,
+        configuration: Any = None,
     ) -> PrescribedTest:
-        """Produce a prescribed test for one engine (Figure 4, step 5)."""
+        """Produce a prescribed test for one engine (Figure 4, step 5).
+
+        ``configuration`` is an optional
+        :class:`~repro.execution.config.SystemConfiguration`; when
+        given the engine is built from it instead of the bare registry
+        default.
+        """
         if isinstance(prescription, str):
             prescription = self.repository.get(prescription)
         workload = self.workloads.create(prescription.workload)
@@ -240,7 +247,11 @@ class TestGenerator:
                 f"workload {prescription.workload!r} does not run on engine "
                 f"{engine_name!r}; supported: {workload.supported_engines()}"
             )
-        engine: Engine = self.engines.create(engine_name)
+        engine: Engine = (
+            configuration.build()
+            if configuration is not None
+            else self.engines.create(engine_name)
+        )
         dataset = self.select_data(
             prescription.data, volume_override, partitions_override, chunk_size
         )

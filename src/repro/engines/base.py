@@ -30,6 +30,8 @@ class CostCounters:
     bytes_written: int = 0
     compute_ops: int = 0
     network_bytes: int = 0
+    #: Column batches materialized by vectorized operators (0 on row paths).
+    batches: int = 0
 
     def merge(self, other: "CostCounters") -> "CostCounters":
         """Accumulate another counter set into this one (returns self)."""
@@ -39,6 +41,7 @@ class CostCounters:
         self.bytes_written += other.bytes_written
         self.compute_ops += other.compute_ops
         self.network_bytes += other.network_bytes
+        self.batches += other.batches
         return self
 
     def snapshot(self) -> dict[str, int]:
@@ -50,6 +53,7 @@ class CostCounters:
             "bytes_written": self.bytes_written,
             "compute_ops": self.compute_ops,
             "network_bytes": self.network_bytes,
+            "batches": self.batches,
         }
 
     def reset(self) -> None:
@@ -59,6 +63,7 @@ class CostCounters:
         self.bytes_written = 0
         self.compute_ops = 0
         self.network_bytes = 0
+        self.batches = 0
 
 
 @dataclass

@@ -20,6 +20,8 @@ from repro.engines.dbms.catalog import Catalog, TableStats
 from repro.engines.dbms.expressions import Expression
 from repro.engines.dbms.planner import Planner, PlannerConfig, Query, QueryBuilder
 from repro.engines.dbms.storage import HeapTable
+from repro.engines.dbms.vector_plans import VectorOperator
+from repro.observability import trace_span
 
 
 @dataclass
@@ -66,9 +68,14 @@ class DbmsEngine(Engine):
             input_format="records",
             description=(
                 "heap tables, secondary indexes, rule-based planner with "
-                "pushdown and join selection, hash/merge/nested-loop joins"
+                "pushdown, join selection, and row/columnar layouts"
             ),
         )
+
+    @property
+    def execution_layout(self) -> str:
+        """The configured default layout (row | columnar)."""
+        return self.planner.config.layout
 
     # ------------------------------------------------------------------
     # DDL / DML
@@ -150,25 +157,36 @@ class DbmsEngine(Engine):
         """Start a fluent query."""
         return QueryBuilder(table)
 
-    def execute(self, query: Query | QueryBuilder) -> QueryResult:
-        """Plan and run a logical query."""
+    def execute(
+        self, query: Query | QueryBuilder, layout: str | None = None
+    ) -> QueryResult:
+        """Plan and run a logical query.
+
+        ``layout`` overrides the engine's configured execution layout
+        (``row`` | ``columnar``) for this one query.
+        """
         if isinstance(query, QueryBuilder):
             query = query.build()
         cost = CostCounters()
         started = time.perf_counter()
-        plan = self.planner.plan(query, cost)
-        rows = list(plan.rows())
+        plan = self.planner.plan(query, cost, layout=layout)
+        effective = _plan_layout(plan)
+        with trace_span("query", engine="dbms", layout=effective) as span:
+            rows = list(plan.rows())
+            if span:
+                span.incr("batches", cost.batches)
+                span.incr("records_read", cost.records_read)
         wall_seconds = time.perf_counter() - started
         self.counters.merge(cost)
         return QueryResult(
             rows=rows,
             schema=plan.schema,
-            plan=plan.explain(),
+            plan={"layout": effective, **plan.explain()},
             wall_seconds=wall_seconds,
             cost=cost,
         )
 
-    def sql(self, text: str) -> QueryResult:
+    def sql(self, text: str, layout: str | None = None) -> QueryResult:
         """Parse and execute one SELECT statement.
 
         The SQL front-end produces the same logical :class:`Query` the
@@ -176,13 +194,26 @@ class DbmsEngine(Engine):
         """
         from repro.engines.dbms.sql import parse_sql
 
-        return self.execute(parse_sql(text))
+        return self.execute(parse_sql(text), layout=layout)
 
-    def explain(self, query: Query | QueryBuilder) -> dict[str, Any]:
-        """The physical plan without executing it."""
+    def explain(
+        self, query: Query | QueryBuilder, layout: str | None = None
+    ) -> dict[str, Any]:
+        """The physical plan without executing it (layout included)."""
         if isinstance(query, QueryBuilder):
             query = query.build()
-        return self.planner.plan(query, CostCounters()).explain()
+        plan = self.planner.plan(query, CostCounters(), layout=layout)
+        return {"layout": _plan_layout(plan), **plan.explain()}
 
     def stats(self, table: str) -> TableStats:
         return self.catalog.stats(table)
+
+
+def _plan_layout(plan: Any) -> str:
+    """The layout a plan actually executes with.
+
+    A query planned ``columnar`` whose root fell back to row operators
+    (e.g. a merge join) honestly reports ``row`` — ``explain()`` and the
+    trace must describe the path that ran, not the one requested.
+    """
+    return "columnar" if isinstance(plan, VectorOperator) else "row"

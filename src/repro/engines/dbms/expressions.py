@@ -5,19 +5,28 @@ position).  :func:`col` and :func:`lit` are the public constructors;
 comparisons and boolean combinators are built with Python operators:
 
 >>> predicate = (col("age") >= lit(18)) & (col("country") == lit("us"))
+
+Every node also evaluates batch-at-a-time: :meth:`Expression.
+evaluate_batch` takes named column vectors and returns one output value
+per position, element-wise identical to looping :meth:`Expression.
+evaluate` over the rows.  The vectorized operators in
+:mod:`repro.engines.dbms.vector_plans` use this to evaluate a predicate
+once per batch instead of recursing through the tree once per row.
 """
 
 from __future__ import annotations
 
 import operator
 from abc import ABC, abstractmethod
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 from typing import Any
 
 from repro.core.errors import EngineError
 
 Layout = dict[str, int]
 Row = tuple
+#: Named column vectors, as the batch evaluator consumes them.
+Columns = dict[str, Sequence[Any]]
 
 
 class Expression(ABC):
@@ -26,6 +35,16 @@ class Expression(ABC):
     @abstractmethod
     def evaluate(self, row: Row, layout: Layout) -> Any:
         """Evaluate against one row."""
+
+    @abstractmethod
+    def evaluate_batch(self, columns: Columns, count: int) -> Sequence[Any]:
+        """Evaluate against ``count`` rows held as column vectors.
+
+        Must be element-wise identical to calling :meth:`evaluate` on
+        each row — the row path stays the correctness oracle.  May
+        return an existing column vector unchanged (zero-copy), so
+        callers must not mutate the result.
+        """
 
     @abstractmethod
     def columns(self) -> frozenset[str]:
@@ -100,6 +119,14 @@ class Column(Expression):
                 f"unknown column {self.name!r}; available: {sorted(layout)}"
             ) from None
 
+    def evaluate_batch(self, columns: Columns, count: int) -> Sequence[Any]:
+        try:
+            return columns[self.name]
+        except KeyError:
+            raise EngineError(
+                f"unknown column {self.name!r}; available: {sorted(columns)}"
+            ) from None
+
     def columns(self) -> frozenset[str]:
         return frozenset({self.name})
 
@@ -115,6 +142,9 @@ class Literal(Expression):
 
     def evaluate(self, row: Row, layout: Layout) -> Any:
         return self.value
+
+    def evaluate_batch(self, columns: Columns, count: int) -> Sequence[Any]:
+        return [self.value] * count
 
     def columns(self) -> frozenset[str]:
         return frozenset()
@@ -147,6 +177,29 @@ class Comparison(Expression):
         return _COMPARATORS[self.op](
             self.left.evaluate(row, layout), self.right.evaluate(row, layout)
         )
+
+    def evaluate_batch(self, columns: Columns, count: int) -> Sequence[Any]:
+        compare = _COMPARATORS[self.op]
+        # Constant operands skip the broadcast list a Literal would build.
+        if isinstance(self.right, Literal):
+            constant = self.right.value
+            return [
+                compare(item, constant)
+                for item in self.left.evaluate_batch(columns, count)
+            ]
+        if isinstance(self.left, Literal):
+            constant = self.left.value
+            return [
+                compare(constant, item)
+                for item in self.right.evaluate_batch(columns, count)
+            ]
+        return [
+            compare(left_item, right_item)
+            for left_item, right_item in zip(
+                self.left.evaluate_batch(columns, count),
+                self.right.evaluate_batch(columns, count),
+            )
+        ]
 
     def columns(self) -> frozenset[str]:
         return self.left.columns() | self.right.columns()
@@ -183,6 +236,19 @@ class BooleanOp(Expression):
             self.right.evaluate(row, layout)
         )
 
+    def evaluate_batch(self, columns: Columns, count: int) -> Sequence[Any]:
+        left = self.left.evaluate_batch(columns, count)
+        right = self.right.evaluate_batch(columns, count)
+        if self.op == "and":
+            return [
+                bool(left_item) and bool(right_item)
+                for left_item, right_item in zip(left, right)
+            ]
+        return [
+            bool(left_item) or bool(right_item)
+            for left_item, right_item in zip(left, right)
+        ]
+
     def columns(self) -> frozenset[str]:
         return self.left.columns() | self.right.columns()
 
@@ -198,6 +264,12 @@ class NotOp(Expression):
 
     def evaluate(self, row: Row, layout: Layout) -> bool:
         return not bool(self.inner.evaluate(row, layout))
+
+    def evaluate_batch(self, columns: Columns, count: int) -> Sequence[Any]:
+        return [
+            not bool(item)
+            for item in self.inner.evaluate_batch(columns, count)
+        ]
 
     def columns(self) -> frozenset[str]:
         return self.inner.columns()
@@ -228,6 +300,28 @@ class Arithmetic(Expression):
         return _ARITHMETIC[self.op](
             self.left.evaluate(row, layout), self.right.evaluate(row, layout)
         )
+
+    def evaluate_batch(self, columns: Columns, count: int) -> Sequence[Any]:
+        combine = _ARITHMETIC[self.op]
+        if isinstance(self.right, Literal):
+            constant = self.right.value
+            return [
+                combine(item, constant)
+                for item in self.left.evaluate_batch(columns, count)
+            ]
+        if isinstance(self.left, Literal):
+            constant = self.left.value
+            return [
+                combine(constant, item)
+                for item in self.right.evaluate_batch(columns, count)
+            ]
+        return [
+            combine(left_item, right_item)
+            for left_item, right_item in zip(
+                self.left.evaluate_batch(columns, count),
+                self.right.evaluate_batch(columns, count),
+            )
+        ]
 
     def columns(self) -> frozenset[str]:
         return self.left.columns() | self.right.columns()

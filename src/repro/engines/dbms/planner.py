@@ -8,7 +8,11 @@ operator tree, applying:
 * **access-path selection** — an equality conjunct on an indexed column
   becomes an IndexScan;
 * **join-algorithm selection** — hash join for large inputs, nested-loop
-  for tiny inners, overridable for the planner ablation benchmark.
+  for tiny inners, overridable for the planner ablation benchmark;
+* **layout selection** — ``layout="columnar"`` plans the batch-at-a-time
+  vectorized operators (:mod:`repro.engines.dbms.vector_plans`) wherever
+  they exist, falling back to the row twins mid-plan for row-only
+  algorithms (merge and nested-loop joins) via a ``RowAdapter``.
 """
 
 from __future__ import annotations
@@ -38,6 +42,21 @@ from repro.engines.dbms.plans import (
     SeqScan,
     Sort,
 )
+from repro.engines.dbms.vector_plans import (
+    BatchAggregate,
+    BatchFilter,
+    BatchHashJoin,
+    BatchLimit,
+    BatchProject,
+    BatchSort,
+    ColumnarIndexScan,
+    ColumnarScan,
+    RowAdapter,
+    VectorOperator,
+)
+
+#: The execution layouts the planner can produce.
+LAYOUTS = ("row", "columnar")
 
 
 @dataclass(frozen=True)
@@ -75,6 +94,10 @@ class PlannerConfig:
     predicate_pushdown: bool = True
     #: Inner inputs up to this many rows use nested-loop under "auto".
     nested_loop_threshold: int = 64
+    #: row | columnar — the default execution layout for planned queries.
+    layout: str = "row"
+    #: Rows per column batch in the columnar layout.
+    batch_size: int = 1024
 
     def __post_init__(self) -> None:
         valid = ("hash", "nested_loop", "merge", "auto")
@@ -82,6 +105,14 @@ class PlannerConfig:
             raise EngineError(
                 f"join_algorithm must be one of {valid}, got "
                 f"{self.join_algorithm!r}"
+            )
+        if self.layout not in LAYOUTS:
+            raise EngineError(
+                f"layout must be one of {LAYOUTS}, got {self.layout!r}"
+            )
+        if self.batch_size <= 0:
+            raise EngineError(
+                f"batch_size must be positive, got {self.batch_size}"
             )
 
 
@@ -92,13 +123,31 @@ class Planner:
         self.catalog = catalog
         self.config = config or PlannerConfig()
 
-    def plan(self, query: Query, cost: CostCounters) -> PhysicalOperator:
-        """Build the physical plan for ``query``, charging work to ``cost``."""
+    def plan(
+        self,
+        query: Query,
+        cost: CostCounters,
+        layout: str | None = None,
+    ) -> PhysicalOperator | VectorOperator:
+        """Build the physical plan for ``query``, charging work to ``cost``.
+
+        ``layout`` overrides the configured default for this one query.
+        """
+        layout = layout if layout is not None else self.config.layout
+        if layout not in LAYOUTS:
+            raise EngineError(
+                f"layout must be one of {LAYOUTS}, got {layout!r}"
+            )
+        columnar = layout == "columnar"
         conjuncts = split_conjuncts(query.predicate)
-        operator, remaining = self._plan_scan(query.table, conjuncts, cost)
+        operator, remaining = self._plan_scan(
+            query.table, conjuncts, cost, columnar
+        )
 
         for join in query.joins:
-            inner, remaining = self._plan_scan(join.table, remaining, cost)
+            inner, remaining = self._plan_scan(
+                join.table, remaining, cost, columnar
+            )
             operator = self._plan_join(operator, inner, join, cost)
 
         leftover = [
@@ -112,27 +161,52 @@ class Planner:
                 f"predicate references unknown columns: "
                 f"{sorted(set().union(*(c.columns() for c in unplaceable)))}"
             )
+        vectorized = isinstance(operator, VectorOperator)
         residual = conjoin(leftover)
         if residual is not None:
-            operator = Filter(operator, residual, cost)
+            operator = (
+                BatchFilter(operator, residual, cost)
+                if vectorized
+                else Filter(operator, residual, cost)
+            )
 
         if query.group_by or query.aggregates:
-            operator = HashAggregate(
-                operator, query.group_by, query.aggregates, cost
+            operator = (
+                BatchAggregate(operator, query.group_by, query.aggregates, cost)
+                if vectorized
+                else HashAggregate(
+                    operator, query.group_by, query.aggregates, cost
+                )
             )
         if query.projection:
-            operator = Project(operator, query.projection, cost)
+            operator = (
+                BatchProject(operator, query.projection, cost)
+                if vectorized
+                else Project(operator, query.projection, cost)
+            )
         if query.order_by:
-            operator = Sort(operator, query.order_by, cost)
+            operator = (
+                BatchSort(operator, query.order_by, cost)
+                if vectorized
+                else Sort(operator, query.order_by, cost)
+            )
         if query.limit is not None:
-            operator = Limit(operator, query.limit, cost)
+            operator = (
+                BatchLimit(operator, query.limit, cost)
+                if vectorized
+                else Limit(operator, query.limit, cost)
+            )
         return operator
 
     # ------------------------------------------------------------------
 
     def _plan_scan(
-        self, table_name: str, conjuncts: list[Expression], cost: CostCounters
-    ) -> tuple[PhysicalOperator, list[Expression]]:
+        self,
+        table_name: str,
+        conjuncts: list[Expression],
+        cost: CostCounters,
+        columnar: bool = False,
+    ) -> tuple[PhysicalOperator | VectorOperator, list[Expression]]:
         """Choose the access path for one table and push its conjuncts."""
         table = self.catalog.table(table_name)
         table_columns = set(table.schema)
@@ -142,7 +216,7 @@ class Planner:
         else:
             local, remaining = [], list(conjuncts)
 
-        operator: PhysicalOperator | None = None
+        operator: PhysicalOperator | VectorOperator | None = None
         if self.config.use_indexes:
             for conjunct in local:
                 if (
@@ -150,7 +224,8 @@ class Planner:
                     and conjunct.is_equality_on_column
                     and table.has_index(conjunct.left.name)  # type: ignore[union-attr]
                 ):
-                    operator = IndexScan(
+                    scan_type = ColumnarIndexScan if columnar else IndexScan
+                    operator = scan_type(
                         table,
                         conjunct.left.name,  # type: ignore[union-attr]
                         cost,
@@ -159,19 +234,28 @@ class Planner:
                     local = [c for c in local if c is not conjunct]
                     break
         if operator is None:
-            operator = SeqScan(table, cost)
+            if columnar:
+                operator = ColumnarScan(
+                    table, cost, batch_size=self.config.batch_size
+                )
+            else:
+                operator = SeqScan(table, cost)
         residual = conjoin(local)
         if residual is not None:
-            operator = Filter(operator, residual, cost)
+            operator = (
+                BatchFilter(operator, residual, cost)
+                if columnar
+                else Filter(operator, residual, cost)
+            )
         return operator, remaining
 
     def _plan_join(
         self,
-        outer: PhysicalOperator,
-        inner: PhysicalOperator,
+        outer: PhysicalOperator | VectorOperator,
+        inner: PhysicalOperator | VectorOperator,
         join: JoinSpec,
         cost: CostCounters,
-    ) -> PhysicalOperator:
+    ) -> PhysicalOperator | VectorOperator:
         """Pick the join algorithm per configuration and statistics."""
         if join.left_column not in outer.schema:
             raise EngineError(
@@ -185,27 +269,58 @@ class Planner:
             )
         algorithm = self.config.join_algorithm
         if algorithm == "auto":
-            inner_rows = self._estimate_rows(inner)
-            algorithm = (
-                "nested_loop"
-                if inner_rows <= self.config.nested_loop_threshold
-                else "hash"
+            if isinstance(outer, VectorOperator) and isinstance(
+                inner, VectorOperator
+            ):
+                # In the columnar layout the batch hash join IS the
+                # vectorized choice; its output order matches nested-loop
+                # exactly, so the row oracle still holds.
+                algorithm = "hash"
+            else:
+                inner_rows = self._estimate_rows(inner)
+                algorithm = (
+                    "nested_loop"
+                    if inner_rows <= self.config.nested_loop_threshold
+                    else "hash"
+                )
+        if algorithm == "hash" and (
+            isinstance(outer, VectorOperator)
+            and isinstance(inner, VectorOperator)
+        ):
+            return BatchHashJoin(
+                outer, inner, join.left_column, join.right_column, cost
             )
+        # Merge and nested-loop joins (and mixed-layout inputs) run the
+        # row algorithms; vector inputs are adapted at the boundary.
+        outer = self._as_row(outer, cost)
+        inner = self._as_row(inner, cost)
         if algorithm == "hash":
             return HashJoin(outer, inner, join.left_column, join.right_column, cost)
         if algorithm == "merge":
             return MergeJoin(outer, inner, join.left_column, join.right_column, cost)
         return NestedLoopJoin(outer, inner, join.left_column, join.right_column, cost)
 
-    def _estimate_rows(self, operator: PhysicalOperator) -> int:
+    @staticmethod
+    def _as_row(
+        operator: PhysicalOperator | VectorOperator, cost: CostCounters
+    ) -> PhysicalOperator:
+        if isinstance(operator, VectorOperator):
+            return RowAdapter(operator, cost)
+        return operator
+
+    def _estimate_rows(
+        self, operator: PhysicalOperator | VectorOperator
+    ) -> int:
         """Cardinality estimate from catalog statistics (scans only)."""
-        if isinstance(operator, SeqScan):
+        if isinstance(operator, (SeqScan, ColumnarScan)):
             return len(operator.table)
-        if isinstance(operator, IndexScan):
+        if isinstance(operator, (IndexScan, ColumnarIndexScan)):
             # Equality on an index: assume high selectivity.
             return max(1, len(operator.table) // 100)
-        if isinstance(operator, Filter):
+        if isinstance(operator, (Filter, BatchFilter)):
             return max(1, self._estimate_rows(operator.child) // 3)
+        if isinstance(operator, RowAdapter):
+            return self._estimate_rows(operator.child)
         return 1 << 30  # unknown: assume large
 
     def query(self, table: str) -> "QueryBuilder":

@@ -1,7 +1,18 @@
-"""Storage layer of the relational engine: heap tables and indexes."""
+"""Storage layer of the relational engine: heap tables and indexes.
+
+Two layouts share one logical table.  :class:`HeapTable` is the
+row-major store all mutations go through; :meth:`HeapTable.columnar`
+derives a cached :class:`ColumnarTable` — a column-major snapshot with
+typed arrays where a column is homogeneous — that the vectorized
+operators in :mod:`repro.engines.dbms.vector_plans` scan batch-at-a-
+time.  The snapshot is invalidated by a table version counter, so the
+columnar view is always consistent with the heap without paying the
+rebuild on every query.
+"""
 
 from __future__ import annotations
 
+import array as _array
 import bisect
 from collections.abc import Iterable, Iterator, Sequence
 from typing import Any
@@ -100,6 +111,8 @@ class HeapTable:
         self._rows: list[Row | None] = []
         self._live_count = 0
         self.indexes: dict[str, SortedIndex] = {}
+        self._version = 0
+        self._columnar_cache: tuple[int, "ColumnarTable"] | None = None
 
     # ------------------------------------------------------------------
     # Schema helpers
@@ -133,6 +146,7 @@ class HeapTable:
         row_id = len(self._rows)
         self._rows.append(row_tuple)
         self._live_count += 1
+        self._version += 1
         for column, index in self.indexes.items():
             index.insert(row_tuple[self._layout[column]], row_id)
         return row_id
@@ -151,6 +165,7 @@ class HeapTable:
             index.remove(row[self._layout[column]], row_id)
         self._rows[row_id] = None
         self._live_count -= 1
+        self._version += 1
 
     def update_row(self, row_id: int, updates: dict[str, Any]) -> Row:
         """Update columns of one row in place; returns the new row."""
@@ -164,6 +179,7 @@ class HeapTable:
             row[position] = value
         new_row = tuple(row)
         self._rows[row_id] = new_row
+        self._version += 1
         return new_row
 
     def _row_or_raise(self, row_id: int) -> Row:
@@ -219,6 +235,7 @@ class HeapTable:
         """Drop tombstones and rebuild indexes; returns reclaimed slots."""
         reclaimed = len(self._rows) - self._live_count
         self._rows = [row for row in self._rows if row is not None]
+        self._version += 1
         for column in list(self.indexes):
             position = self._layout[column]
             index = SortedIndex(column)
@@ -227,3 +244,111 @@ class HeapTable:
             )
             self.indexes[column] = index
         return reclaimed
+
+    # ------------------------------------------------------------------
+    # Columnar view
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (columnar cache invalidation)."""
+        return self._version
+
+    def columnar(self) -> "ColumnarTable":
+        """The column-major view of this table, rebuilt only on mutation."""
+        if (
+            self._columnar_cache is not None
+            and self._columnar_cache[0] == self._version
+        ):
+            return self._columnar_cache[1]
+        view = ColumnarTable.from_heap(self)
+        self._columnar_cache = (self._version, view)
+        return view
+
+
+class ColumnarTable:
+    """A column-major snapshot of a heap table.
+
+    Each column is a typed ``array.array`` when every value shares one
+    numeric type (``'q'`` for ints, ``'d'`` for floats — bools are
+    deliberately left in plain lists so ``True`` survives round-trips
+    bit-identically), and a plain list otherwise.  ``row_ids`` maps each
+    position back to its heap row id, which lets the shared
+    :class:`SortedIndex` (built over heap row ids) drive positional
+    gathers on the columnar view.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Sequence[str],
+        columns: dict[str, Sequence[Any]],
+        row_ids: Sequence[int],
+    ) -> None:
+        self.name = name
+        self.schema = tuple(schema)
+        self.columns = columns
+        self.row_ids = list(row_ids)
+        self.num_rows = len(self.row_ids)
+        self._position_of = {
+            row_id: position for position, row_id in enumerate(self.row_ids)
+        }
+
+    @classmethod
+    def from_heap(cls, table: HeapTable) -> "ColumnarTable":
+        """Transpose a heap table's live rows into typed column arrays."""
+        row_ids = [
+            row_id
+            for row_id, row in enumerate(table._rows)
+            if row is not None
+        ]
+        live = [table._rows[row_id] for row_id in row_ids]
+        columns: dict[str, Sequence[Any]] = {}
+        if live:
+            transposed = list(zip(*live))
+        else:
+            transposed = [() for _ in table.schema]
+        for column, values in zip(table.schema, transposed):
+            columns[column] = _pack_column(list(values))
+        return cls(table.name, table.schema, columns, row_ids)
+
+    def column(self, name: str) -> Sequence[Any]:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise EngineError(
+                f"table {self.name!r} has no column {name!r}; "
+                f"columns: {self.schema}"
+            ) from None
+
+    def positions_for(self, row_ids: Iterable[int]) -> list[int]:
+        """Columnar positions of heap row ids (index lookups → gathers)."""
+        return [
+            self._position_of[row_id]
+            for row_id in row_ids
+            if row_id in self._position_of
+        ]
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+
+def _pack_column(values: list[Any]) -> Sequence[Any]:
+    """Pick the tightest storage for one column's values.
+
+    Typed arrays only when the whole column is one non-bool numeric
+    type: ``array('q')`` round-trips ints exactly and ``array('d')``
+    floats, while a mixed or bool-carrying column stays a plain list so
+    every value (including ``True``/``None``/strings) reads back
+    bit-identical to the heap row.
+    """
+    if not values:
+        return values
+    if all(type(value) is int for value in values):
+        try:
+            return _array.array("q", values)
+        except OverflowError:
+            return values
+    if all(type(value) is float for value in values):
+        return _array.array("d", values)
+    return values

@@ -10,12 +10,17 @@ from repro.engines.mapreduce.job import (
     identity_mapper,
     identity_reducer,
 )
-from repro.engines.mapreduce.runtime import JobResult, MapReduceEngine
+from repro.engines.mapreduce.runtime import (
+    DEFAULT_COMBINE_BATCH_RECORDS,
+    JobResult,
+    MapReduceEngine,
+)
 
 __all__ = [
     "ClusterModel",
     "ClusterReport",
     "CounterGroup",
+    "DEFAULT_COMBINE_BATCH_RECORDS",
     "JobChain",
     "JobConf",
     "JobResult",

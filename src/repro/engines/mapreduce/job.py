@@ -63,6 +63,14 @@ class JobConf:
     #: ``None``, sized inputs are divided into ``num_map_tasks`` near-
     #: equal splits as before.
     split_records: int | None = None
+    #: Combiner-side batch accumulation.  When set (and the job has a
+    #: combiner), map output is buffered per shuffle partition and the
+    #: combiner runs on each buffer as it reaches this many records,
+    #: instead of once over the whole task output.  Output-identical for
+    #: algebraic combiners (the Hadoop contract: a combiner may run any
+    #: number of times); ``None`` keeps the historical run-once-at-task-
+    #: end behavior.
+    combine_batch_records: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_map_tasks <= 0:
@@ -76,6 +84,14 @@ class JobConf:
         if self.split_records is not None and self.split_records <= 0:
             raise EngineError(
                 f"split_records must be positive, got {self.split_records}"
+            )
+        if (
+            self.combine_batch_records is not None
+            and self.combine_batch_records <= 0
+        ):
+            raise EngineError(
+                f"combine_batch_records must be positive, got "
+                f"{self.combine_batch_records}"
             )
 
 

@@ -45,6 +45,11 @@ Pair = tuple[Any, Any]
 #: the job doesn't set :attr:`~repro.engines.mapreduce.job.JobConf.split_records`.
 DEFAULT_SPLIT_RECORDS = 1024
 
+#: Combiner flush size the ``layout="columnar"`` spec knob configures
+#: (matches the DBMS column-batch size, so one "batch" means the same
+#: order of magnitude across engines).
+DEFAULT_COMBINE_BATCH_RECORDS = 1024
+
 
 @dataclass
 class JobResult:
@@ -75,8 +80,17 @@ class MapReduceEngine(Engine):
         cluster: SimulatedClusterSpec | None = None,
         executor: Any = None,
         max_workers: int | None = None,
+        combine_batch_records: int | None = None,
     ) -> None:
         super().__init__()
+        if combine_batch_records is not None and combine_batch_records <= 0:
+            raise EngineError(
+                f"combine_batch_records must be positive, got "
+                f"{combine_batch_records}"
+            )
+        #: Engine-wide default for combiner-side batch accumulation;
+        #: a job's own ``conf.combine_batch_records`` takes precedence.
+        self.combine_batch_records = combine_batch_records
         self.cluster_model = ClusterModel(cluster)
         # Imported lazily so the engines package never pulls the
         # execution package in at import time (the execution layer
@@ -135,6 +149,17 @@ class MapReduceEngine(Engine):
                               counters.get("map", "input_records"))
                     span.incr("output_records",
                               counters.get("map", "output_records"))
+                    flushes = counters.get("combine", "flushes")
+                    if flushes:
+                        span.incr("combine_flushes", flushes)
+                        span.incr(
+                            "combine_flushed_records",
+                            counters.get("combine", "flushed_records"),
+                        )
+                        span.incr(
+                            "combine_max_flush_records",
+                            counters.get("combine", "max_flush_records"),
+                        )
             with tracer.span("shuffle-phase") as span:
                 partitions, shuffle_bytes = self._shuffle_phase(
                     job, map_outputs, map_output_sizes, counters, cost
@@ -233,6 +258,16 @@ class MapReduceEngine(Engine):
         """One map task over one split, with task-local accounting."""
         counters = CounterGroup()
         cost = CostCounters()
+        batch_records = (
+            job.conf.combine_batch_records
+            if job.conf.combine_batch_records is not None
+            else self.combine_batch_records
+        )
+        accumulator: _CombineAccumulator | None = None
+        if job.combiner is not None and batch_records is not None:
+            accumulator = _CombineAccumulator(
+                self, job, batch_records, counters, cost
+            )
         task_output: list[Pair] = []
         for key, value in split:
             counters.increment("map", "input_records")
@@ -244,10 +279,15 @@ class MapReduceEngine(Engine):
                         f"mapper of job {job.name!r} must yield (key, value) "
                         f"pairs, got {out_pair!r}"
                     )
-                task_output.append(out_pair)
                 counters.increment("map", "output_records")
                 cost.compute_ops += 1
-        if job.combiner is not None:
+                if accumulator is not None:
+                    accumulator.add(out_pair)
+                else:
+                    task_output.append(out_pair)
+        if accumulator is not None:
+            task_output = accumulator.finish()
+        elif job.combiner is not None:
             task_output = self._combine(job, task_output, counters, cost)
         task_sizes = [_estimate_bytes(pair) for pair in task_output]
         return (
@@ -367,6 +407,75 @@ class MapReduceEngine(Engine):
                 cost.bytes_written += _estimate_bytes(out_pair)
                 cost.compute_ops += 1
         return output, counters, cost, records
+
+
+class _CombineAccumulator:
+    """Per-partition batch accumulation for the combiner.
+
+    Map output is buffered by shuffle partition; when a partition's
+    buffer reaches ``batch_records`` pairs the combiner runs over just
+    that buffer (a *flush*), bounding combiner working memory to one
+    batch per partition instead of the whole task output.  Within each
+    partition the first-appearance order of keys is preserved, so for
+    algebraic combiners the job output is identical to the historical
+    combine-once-at-task-end path.
+
+    Flush sizes are observable: ``combine::flushes`` and
+    ``combine::flushed_records`` count them, ``combine::
+    max_flush_records`` keeps the high-water mark (max-merged across
+    tasks), and each flush bumps ``CostCounters.batches``.
+    """
+
+    def __init__(
+        self,
+        engine: MapReduceEngine,
+        job: MapReduceJob,
+        batch_records: int,
+        counters: CounterGroup,
+        cost: CostCounters,
+    ) -> None:
+        self.engine = engine
+        self.job = job
+        self.batch_records = batch_records
+        self.counters = counters
+        self.cost = cost
+        self.num_partitions = job.conf.num_reduce_tasks
+        self._buffers: list[list[Pair]] = [
+            [] for _ in range(self.num_partitions)
+        ]
+        self._combined: list[Pair] = []
+
+    def add(self, pair: Pair) -> None:
+        index = self.job.conf.partitioner(pair[0], self.num_partitions)
+        if not 0 <= index < self.num_partitions:
+            raise EngineError(
+                f"partitioner returned {index} outside "
+                f"[0, {self.num_partitions})"
+            )
+        buffer = self._buffers[index]
+        buffer.append(pair)
+        if len(buffer) >= self.batch_records:
+            self._flush(index)
+
+    def finish(self) -> list[Pair]:
+        """Flush the partial buffers and return the combined task output."""
+        for index in range(self.num_partitions):
+            if self._buffers[index]:
+                self._flush(index)
+        return self._combined
+
+    def _flush(self, index: int) -> None:
+        buffer = self._buffers[index]
+        self._buffers[index] = []
+        self.counters.increment("combine", "flushes")
+        self.counters.increment("combine", "flushed_records", len(buffer))
+        self.counters.record_max(
+            "combine", "max_flush_records", len(buffer)
+        )
+        self.cost.batches += 1
+        self._combined.extend(
+            self.engine._combine(self.job, buffer, self.counters, self.cost)
+        )
 
 
 def _sort_token(value: Any) -> tuple[int, Any]:

@@ -56,9 +56,13 @@ class SystemConfiguration:
             options = dict(self.options)
             executor = options.pop("executor", None)
             max_workers = options.pop("max_workers", None)
+            combine_batch_records = options.pop("combine_batch_records", None)
             cluster = SimulatedClusterSpec(**options) if options else None
             return MapReduceEngine(
-                cluster=cluster, executor=executor, max_workers=max_workers
+                cluster=cluster,
+                executor=executor,
+                max_workers=max_workers,
+                combine_batch_records=combine_batch_records,
             )
         if self.engine_name == "dbms":
             from repro.engines.dbms import DbmsEngine, PlannerConfig
@@ -80,6 +84,45 @@ class SystemConfiguration:
         raise ExecutionError(
             f"no configuration recipe for engine {self.engine_name!r}"
         )
+
+
+def layout_options(layout: str) -> dict[str, dict[str, Any]]:
+    """Per-engine option overrides realizing an execution layout.
+
+    The columnar layout means two different things on the two hot
+    paths: batch-at-a-time vectorized operators on the DBMS, and
+    per-partition combiner batching on MapReduce.  Engines absent from
+    the mapping have no layout notion and run bare.  The row layout is
+    every engine's default, so it needs no overrides at all.
+    """
+    if layout != "columnar":
+        return {}
+    from repro.engines.mapreduce import DEFAULT_COMBINE_BATCH_RECORDS
+
+    return {
+        "dbms": {"layout": "columnar"},
+        "mapreduce": {
+            "combine_batch_records": DEFAULT_COMBINE_BATCH_RECORDS
+        },
+    }
+
+
+def layout_configuration(
+    engine_name: str, layout: str
+) -> SystemConfiguration | None:
+    """The configuration realizing ``layout`` on one engine, or None.
+
+    None means the engine should be built bare: either the layout is
+    the default row layout, or the engine has no layout notion.
+    """
+    options = layout_options(layout).get(engine_name)
+    if options is None:
+        return None
+    return SystemConfiguration(
+        engine_name,
+        options=dict(options),
+        label=f"{engine_name} ({layout} layout)",
+    )
 
 
 def default_configurations() -> dict[str, SystemConfiguration]:

@@ -19,7 +19,7 @@ from typing import Any
 
 from repro.core.prescription import Prescription
 from repro.core.results import ResultAnalyzer, RunResult
-from repro.execution.config import SystemConfiguration
+from repro.execution.config import SystemConfiguration, layout_configuration
 from repro.execution.runner import RunTask, TestRunner
 
 
@@ -69,11 +69,25 @@ class BenchmarkHarness:
         prescription: Prescription | str,
         engine_name: str,
         volumes: list[int],
+        *,
+        layout: str = "row",
         **overrides: Any,
     ) -> SweepReport:
-        """Run one prescription at several data volumes."""
+        """Run one prescription at several data volumes.
+
+        ``layout="columnar"`` runs every point through the engine's
+        columnar configuration (see
+        :func:`~repro.execution.config.layout_configuration`).
+        """
+        configuration = layout_configuration(engine_name, layout)
         tasks = [
-            RunTask(prescription, engine_name, volume, dict(overrides))
+            RunTask(
+                prescription,
+                engine_name,
+                volume,
+                dict(overrides),
+                configuration=configuration,
+            )
             for volume in volumes
         ]
         results = self.runner.run_many(tasks)
@@ -88,16 +102,20 @@ class BenchmarkHarness:
         engine_name: str,
         parameter: str,
         values: list[Any],
+        *,
+        layout: str = "row",
         **fixed_overrides: Any,
     ) -> SweepReport:
         """Run one prescription sweeping a workload parameter."""
         volume_override = fixed_overrides.pop("volume_override", None)
+        configuration = layout_configuration(engine_name, layout)
         tasks = [
             RunTask(
                 prescription,
                 engine_name,
                 volume_override,
                 {**fixed_overrides, parameter: value},
+                configuration=configuration,
             )
             for value in values
         ]

@@ -550,6 +550,10 @@ class TestRunner:
                 chunk_size=task.chunk_size,
                 executor=self.options.executor,
                 data_partitions=task.data_partitions,
+                # The executed layout as the workload dispatcher observed
+                # it (row when the engine has no layout notion), so
+                # columnar runs land in their own comparable series.
+                layout=outcome.extra.get("layout", "row"),
             )
             self.store.record_outcome(
                 outcome, fingerprint, environment=environment

@@ -117,12 +117,14 @@ class WorkloadTarget(LoadTarget):
         engine: str | None = None,
         volume: int | None = None,
         params: dict[str, Any] | None = None,
+        layout: str = "row",
         repository: Any = None,
     ) -> None:
         self.prescription = prescription
         self.engine = engine
         self.volume = volume
         self.params = dict(params or {})
+        self.layout = layout
         self.repository = repository
         self._test = None
 
@@ -145,8 +147,13 @@ class WorkloadTarget(LoadTarget):
                     f"{prescription.workload!r}"
                 )
             engine_name = supported[0]
+        from repro.execution.config import layout_configuration
+
         self._test = generator.generate(
-            prescription, engine_name, volume_override=self.volume
+            prescription,
+            engine_name,
+            volume_override=self.volume,
+            configuration=layout_configuration(engine_name, self.layout),
         )
         self.engine = engine_name
         self.name = f"workload:{self.prescription}@{engine_name}"

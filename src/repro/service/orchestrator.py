@@ -389,11 +389,25 @@ class Orchestrator:
         this scheduler thread across jobs with the same execution
         options.
         """
-        from repro.execution.config import default_configurations
+        from repro.execution.config import default_configurations, layout_options
         from repro.execution.runner import RunTask
 
         runner = self._runner_for(spec)
         configurations = default_configurations()
+        engine_options = layout_options(spec.layout)
+        if engine_options:
+            from dataclasses import replace
+
+            configurations = {
+                name: replace(
+                    configuration,
+                    options={
+                        **configuration.options,
+                        **engine_options.get(name, {}),
+                    },
+                )
+                for name, configuration in configurations.items()
+            }
         if spec.inject_latency:
             from dataclasses import replace
 

@@ -144,8 +144,14 @@ class Workload(ABC):
             # The implementation needs random access; pay for the full
             # list once, here, instead of surprising it with a stream.
             dataset = ensure_dataset(dataset)
+        # Engines with an execution-layout notion (the DBMS) expose it;
+        # everything else runs implicitly row-at-a-time.
+        layout = getattr(engine, "execution_layout", None)
         with trace_span(
-            "workload", workload=self.name, engine=engine.name
+            "workload",
+            workload=self.name,
+            engine=engine.name,
+            **({"layout": layout} if layout else {}),
         ) as span:
             # Fault-injection seam: an engine that defines ``inject_fault``
             # (see repro.engines.faults.FaultyEngine) may raise or stall
@@ -171,6 +177,8 @@ class Workload(ABC):
                 # enclosing span (Section 3.1 architecture metrics).
                 for key, value in result.cost.snapshot().items():
                     span.incr(f"cost.{key}", value)
+        if layout is not None:
+            result.extra.setdefault("layout", layout)
         return result
 
     def describe(self) -> dict[str, Any]:

@@ -1,0 +1,144 @@
+"""Combiner-side batch accumulation on the MapReduce shuffle path.
+
+``combine_batch_records`` makes the combiner run per full buffer
+instead of once at map-task end — the shuffle half of the columnar
+refactor (DESIGN.md §3.14).  For algebraic combiners the output must be
+identical (the Hadoop contract: a combiner may run 0..n times), the
+per-partition first-appearance key order must survive, and the
+``combine::*`` counters must report the flush sizes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import EngineError
+from repro.engines.mapreduce import (
+    DEFAULT_COMBINE_BATCH_RECORDS,
+    CounterGroup,
+    JobConf,
+    MapReduceEngine,
+    MapReduceJob,
+)
+
+
+def word_count_job(**conf_kwargs) -> MapReduceJob:
+    def wc_map(key, value):
+        for word in value.split():
+            yield word, 1
+
+    def wc_reduce(key, values):
+        yield key, sum(values)
+
+    return MapReduceJob(
+        "wordcount", wc_map, wc_reduce, combiner=wc_reduce,
+        conf=JobConf(**conf_kwargs),
+    )
+
+
+def _corpus(num_lines: int, seed: int = 11) -> list[tuple[int, str]]:
+    rng = random.Random(seed)
+    words = [f"w{index}" for index in range(40)]
+    return [
+        (line, " ".join(rng.choice(words) for _ in range(12)))
+        for line in range(num_lines)
+    ]
+
+
+PAIRS = _corpus(150)
+
+
+class TestOutputEquivalence:
+    def test_batched_combine_output_matches_legacy(self):
+        legacy = MapReduceEngine().run(word_count_job(), PAIRS)
+        for batch_records in (1, 7, 64, 10_000):
+            batched = MapReduceEngine().run(
+                word_count_job(combine_batch_records=batch_records), PAIRS
+            )
+            assert batched.output == legacy.output, batch_records
+
+    def test_order_preserved_without_sorted_keys(self):
+        legacy = MapReduceEngine().run(
+            word_count_job(sort_keys=False), PAIRS
+        )
+        batched = MapReduceEngine().run(
+            word_count_job(sort_keys=False, combine_batch_records=16), PAIRS
+        )
+        assert batched.output == legacy.output
+
+    def test_engine_default_equivalent_to_job_conf(self):
+        via_engine = MapReduceEngine(combine_batch_records=32).run(
+            word_count_job(), PAIRS
+        )
+        via_job = MapReduceEngine().run(
+            word_count_job(combine_batch_records=32), PAIRS
+        )
+        assert via_engine.output == via_job.output
+
+    def test_job_conf_overrides_engine_default(self):
+        engine = MapReduceEngine(combine_batch_records=10_000)
+        result = engine.run(
+            word_count_job(combine_batch_records=8), PAIRS
+        )
+        # A tiny job-level buffer forces many flushes; the engine-wide
+        # 10k default would have flushed once per task.
+        assert result.counters.get("combine", "max_flush_records") <= 8
+
+    def test_jobs_without_combiner_unaffected(self):
+        job = word_count_job(combine_batch_records=8)
+        job.combiner = None
+        result = MapReduceEngine().run(job, PAIRS)
+        legacy = MapReduceEngine().run(word_count_job(), PAIRS)
+        assert dict(result.output) == dict(legacy.output)
+        assert result.counters.get("combine", "flushes") == 0
+
+
+class TestBatchCounters:
+    def test_flush_counters_report_batch_sizes(self):
+        result = MapReduceEngine().run(
+            word_count_job(combine_batch_records=64), PAIRS
+        )
+        flushes = result.counters.get("combine", "flushes")
+        flushed = result.counters.get("combine", "flushed_records")
+        max_flush = result.counters.get("combine", "max_flush_records")
+        assert flushes > 0
+        # Every mapped record passes through the accumulator.
+        assert flushed == result.counters.get("map", "output_records")
+        assert 0 < max_flush <= 64
+        assert result.cost.batches == flushes
+
+    def test_legacy_path_reports_no_flushes(self):
+        result = MapReduceEngine().run(word_count_job(), PAIRS)
+        assert result.counters.get("combine", "flushes") == 0
+        assert result.cost.batches == 0
+
+    def test_max_flush_merges_by_max_not_sum(self):
+        left = CounterGroup()
+        left.record_max("combine", "max_flush_records", 40)
+        right = CounterGroup()
+        right.record_max("combine", "max_flush_records", 64)
+        right.increment("combine", "flushes", 2)
+        left.merge(right)
+        assert left.get("combine", "max_flush_records") == 64
+        assert left.get("combine", "flushes") == 2
+
+    def test_record_max_keeps_high_water_mark(self):
+        counters = CounterGroup()
+        counters.record_max("combine", "max_flush_records", 10)
+        counters.record_max("combine", "max_flush_records", 5)
+        assert counters.get("combine", "max_flush_records") == 10
+
+
+class TestValidation:
+    def test_non_positive_batch_rejected_on_conf(self):
+        with pytest.raises(EngineError):
+            JobConf(combine_batch_records=0)
+
+    def test_non_positive_batch_rejected_on_engine(self):
+        with pytest.raises(EngineError):
+            MapReduceEngine(combine_batch_records=-1)
+
+    def test_default_constant_is_positive(self):
+        assert DEFAULT_COMBINE_BATCH_RECORDS > 0

@@ -82,7 +82,7 @@ from repro.service import (  # noqa: E402
     ServiceClient,
 )
 from repro import api  # noqa: E402
-from repro.api import compare, gate, load, run, serve, sweep  # noqa: E402
+from repro.api import ablate, compare, gate, load, run, serve, sweep  # noqa: E402
 
 __version__ = "1.1.0"
 
@@ -123,6 +123,7 @@ __all__ = [
     "TestGenerator",
     "Tracer",
     "UserInterfaceLayer",
+    "ablate",
     "api",
     "builtin_repository",
     "compare",

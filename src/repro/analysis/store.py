@@ -73,6 +73,7 @@ def spec_fingerprint(
     executor: str = "serial",
     data_partitions: int | None = None,
     layout: str = "row",
+    tuning: Any = None,
 ) -> dict[str, Any]:
     """The canonical spec fingerprint two comparable runs must share.
 
@@ -83,7 +84,12 @@ def spec_fingerprint(
 
     ``layout`` joins the payload only when non-default ("columnar"):
     every historical record was implicitly row-layout, and omitting the
-    default keeps those series byte-identical and comparable.
+    default keeps those series byte-identical and comparable.  The same
+    contract covers ``tuning``: a normal profile contributes nothing
+    (every historical record was implicitly normal), while a tuned
+    profile's payload (see
+    :meth:`repro.tuning.profiles.TuningProfile.fingerprint`) forks the
+    series so tuned runs never pollute baseline history.
     """
     params = dict(params or {})
     fingerprint = {
@@ -100,6 +106,8 @@ def spec_fingerprint(
     }
     if layout != "row":
         fingerprint["layout"] = layout
+    if tuning:
+        fingerprint["tuning"] = tuning
     return fingerprint
 
 

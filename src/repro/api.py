@@ -13,7 +13,10 @@ Everything a system owner needs, in one flat namespace::
 * :func:`gate` — regression gate against a promoted baseline;
 * :func:`load` — controllable-velocity load generation: drive a
   workload, the service, or a synthetic model at a target rate and
-  judge the run against an SLO policy.
+  judge the run against an SLO policy;
+* :func:`ablate` — a workload × engine × tuning-profile ablation
+  matrix (normal vs optimized vs per-knob one-offs) with statistical
+  verdicts and a per-knob attribution table.
 
 These names are the supported API.  Deeper modules
 (:mod:`repro.execution`, :mod:`repro.engines`, :mod:`repro.datagen`,
@@ -263,6 +266,28 @@ def load(
     return runner.run(plan, slo=slo or SLOPolicy(), store=store)
 
 
+def ablate(
+    workloads: Any,
+    engines: Any = None,
+    **options: Any,
+) -> "AblationReport":
+    """Run a tuning-ablation matrix with statistical verdicts.
+
+    Expands workload × engine × {normal, optimized, per-knob one-off},
+    runs every supported cell through the harness (recording each into
+    the run store under a tuning-aware fingerprint), and judges every
+    tuned cell against its normal baseline with bootstrap CIs and the
+    Mann–Whitney test.  Returns an
+    :class:`~repro.tuning.ablate.AblationReport`; render it with
+    :func:`repro.tuning.render_ablation`.  Keyword ``options`` mirror
+    :func:`repro.tuning.ablate.run_ablation` (``repeats``, ``seed``,
+    ``layout``, ``service=True`` for queued submission, ...).
+    """
+    from repro.tuning import run_ablation
+
+    return run_ablation(workloads, engines, **options)
+
+
 def serve(**options: Any) -> ServiceClient:
     """Start a benchmark service and return its client.
 
@@ -297,6 +322,7 @@ __all__ = [
     "SPEC_VERSION",
     "ServiceClient",
     "SweepReport",
+    "ablate",
     "compare",
     "gate",
     "load",

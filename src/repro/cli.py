@@ -164,6 +164,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="synthetic per-execution slowdown through "
                                  "the fault substrate (regression-gate "
                                  "demos and CI)")
+    run_parser.add_argument("--tuning", default="normal", metavar="PROFILE",
+                            help="tuning profile applied to every engine: "
+                                 "normal, optimized, or normal+<knob> "
+                                 "(see repro.tuning.profiles)")
 
     runs_parser = commands.add_parser(
         "runs", help="inspect the persistent run store"
@@ -268,6 +272,64 @@ def _build_parser() -> argparse.ArgumentParser:
                                     "in-process service")
     submit_parser.add_argument("--json", action="store_true",
                                help="emit results as JSON")
+    submit_parser.add_argument("--tuning", default="normal",
+                               metavar="PROFILE",
+                               help="tuning profile applied to every "
+                                    "engine: normal, optimized, or "
+                                    "normal+<knob>")
+
+    ablate_parser = commands.add_parser(
+        "ablate", parents=[common],
+        help="run a workload × engine × tuning-profile ablation matrix "
+             "with statistical verdicts",
+    )
+    ablate_parser.add_argument("--workloads", required=True,
+                               metavar="NAMES",
+                               help="comma-separated prescription names, "
+                                    "aliases (relational, micro, oltp, "
+                                    "realtime), or unambiguous prefixes")
+    ablate_parser.add_argument("--engines", default=None, metavar="NAMES",
+                               help="comma-separated engines (default: "
+                                    "dbms,mapreduce)")
+    ablate_parser.add_argument("--repeats", type=int, default=5,
+                               help="repeats per cell (>= 5 gives the "
+                                    "Mann-Whitney test enough power at "
+                                    "alpha=0.05)")
+    ablate_parser.add_argument("--volume", type=int, default=None,
+                               help="data volume override")
+    ablate_parser.add_argument("--seed", type=int, default=0,
+                               help="generation + bootstrap seed (same "
+                                    "seed, same verdicts)")
+    ablate_parser.add_argument("--param", action="append", default=[],
+                               metavar="KEY=VALUE",
+                               help="workload parameter override")
+    ablate_parser.add_argument("--chunk-size", type=int, default=None,
+                               help="stream data sets as record batches "
+                                    "of this size")
+    ablate_parser.add_argument("--no-warm-pool", action="store_true",
+                               help="process backend: cold per-task "
+                                    "payloads instead of a warm pool")
+    ablate_parser.add_argument("--no-one-offs", action="store_true",
+                               help="skip the per-knob one-off profiles "
+                                    "(normal vs optimized only)")
+    ablate_parser.add_argument("--metric", action="append", default=[],
+                               help="metric(s) to judge; the first is the "
+                                    "lead metric (default: the "
+                                    "prescription's lead metric)")
+    ablate_parser.add_argument("--tolerance", type=float, default=None,
+                               help="relative effect-size threshold for "
+                                    "verdicts (default: 0.05)")
+    ablate_parser.add_argument("--alpha", type=float, default=None,
+                               help="significance level (default: 0.05)")
+    ablate_parser.add_argument("--style", default="ascii",
+                               choices=["ascii", "markdown", "json"],
+                               help="report rendering style")
+    ablate_parser.add_argument("--service", action="store_true",
+                               help="submit each cell as a queued job to "
+                                    "the in-process benchmark service "
+                                    "instead of a local runner")
+    ablate_parser.add_argument("--schedulers", type=int, default=2,
+                               help="scheduler threads with --service")
 
     load_parser = commands.add_parser(
         "load", parents=[common],
@@ -508,6 +570,7 @@ def _command_run(args, out) -> int:
         record=args.record or args.history,
         inject_latency=args.inject_latency,
         layout=args.layout,
+        tuning=args.tuning,
         **spec_overrides,
     )
     tracing = args.trace or args.trace_out is not None
@@ -885,6 +948,7 @@ def _submit_spec(args):
         record=args.record,
         store_dir=args.store_dir,
         layout=args.layout,
+        tuning=getattr(args, "tuning", "normal"),
     )
 
 
@@ -946,6 +1010,40 @@ def _command_submit(args, out) -> int:
     else:
         print(render_results(job.outcomes), file=out)
         _print_job_summary([job], out)
+    return 0
+
+
+def _command_ablate(args, out) -> int:
+    from repro import api
+
+    kwargs = {}
+    if args.tolerance is not None:
+        kwargs["tolerance"] = args.tolerance
+    if args.alpha is not None:
+        kwargs["alpha"] = args.alpha
+    report = api.ablate(
+        args.workloads,
+        args.engines,
+        repeats=args.repeats,
+        volume=args.volume,
+        seed=args.seed,
+        params=_parse_params(args.param),
+        layout=args.layout,
+        executor=args.executor,
+        max_workers=args.workers,
+        warm_pool=not args.no_warm_pool,
+        chunk_size=args.chunk_size,
+        include_one_offs=not args.no_one_offs,
+        metrics=list(args.metric) or None,
+        store_dir=args.store_dir,
+        service=args.service,
+        schedulers=args.schedulers,
+        **kwargs,
+    )
+    from repro.tuning import render_ablation
+
+    print(render_ablation(report, style=args.style,
+                          metrics=list(args.metric) or None), file=out)
     return 0
 
 
@@ -1169,6 +1267,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _command_baseline(args, out)
         if args.command == "submit":
             return _command_submit(args, out)
+        if args.command == "ablate":
+            return _command_ablate(args, out)
         if args.command == "load":
             return _command_load(args, out)
         if args.command == "serve":

@@ -18,6 +18,11 @@ class SpecError(ReproError):
     """A benchmark specification is invalid or incomplete (Planning step)."""
 
 
+class TuningError(SpecError):
+    """A tuning profile is unknown or invalid for its engine
+    (see :mod:`repro.tuning.profiles`)."""
+
+
 class GenerationError(ReproError):
     """A data generator failed or was misconfigured (Data Generation step)."""
 

@@ -209,11 +209,16 @@ class BenchmarkingProcess:
         # The columnar layout rides the same per-engine configuration
         # path: batch-at-a-time operators on the DBMS, per-partition
         # combiner batching on MapReduce; engines with no layout notion
-        # run bare.
-        from repro.execution.config import SystemConfiguration, layout_options
+        # run bare.  A non-normal tuning profile layers its knobs over
+        # the layout options (profile wins on conflict) through the
+        # same mechanism — see :mod:`repro.tuning.profiles`.
+        from repro.tuning.profiles import get_profile
 
         runner.configurations = {}
-        engine_options = layout_options(spec.layout)
+        profiles = {
+            engine_name: get_profile(engine_name, spec.tuning)
+            for engine_name in engine_names
+        }
         slowdown = None
         if spec.inject_latency:
             from repro.engines.faults import FaultSpec
@@ -221,22 +226,15 @@ class BenchmarkingProcess:
             slowdown = FaultSpec(
                 latency_rate=1.0, latency_seconds=spec.inject_latency
             )
-        if engine_options or slowdown is not None:
-            runner.configurations = {
-                engine_name: SystemConfiguration(
-                    engine_name,
-                    options=dict(engine_options.get(engine_name, {})),
-                    fault=slowdown,
-                )
-                for engine_name in engine_names
-                if slowdown is not None or engine_name in engine_options
-            }
         run_tasks = [
             RunTask(
                 prescription,
                 engine_name,
                 spec.volume,
                 dict(spec.params),
+                configuration=profiles[engine_name].configuration(
+                    spec.layout, fault=slowdown
+                ),
                 data_partitions=(
                     spec.data_partitions if spec.data_partitions > 1 else None
                 ),
@@ -324,6 +322,8 @@ class BenchmarkingProcess:
             spec_fingerprint,
         )
 
+        from repro.tuning.profiles import get_profile
+
         store = RunStore(resolve_store_dir(spec.store_dir))
         environment = environment_fingerprint()
         for outcome in report.results + report.failures:
@@ -338,6 +338,7 @@ class BenchmarkingProcess:
                 executor=spec.executor,
                 data_partitions=spec.data_partitions,
                 layout=spec.layout,
+                tuning=get_profile(outcome.engine, spec.tuning).fingerprint(),
             )
             record = store.record_outcome(
                 outcome, fingerprint, environment=environment

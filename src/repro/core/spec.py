@@ -21,9 +21,10 @@ from repro.core.prescription import PrescriptionRepository
 #: serialized spec.  Version 1 is the historical, implicitly-versioned
 #: schema (payloads with no ``spec_version`` field — e.g. specs embedded
 #: in job logs or run-store sidecars written before versioning landed);
-#: version 2 added the explicit field.  Bump this when a field is
-#: renamed or its meaning changes, and register a migration.
-SPEC_VERSION = 2
+#: version 2 added the explicit field; version 3 added the ``tuning``
+#: profile name (v2 payloads load as ``"normal"``).  Bump this when a
+#: field is renamed or its meaning changes, and register a migration.
+SPEC_VERSION = 3
 
 #: Migration hooks: ``version -> fn(payload) -> payload`` upgrading a
 #: serialized spec from ``version`` to ``version + 1``.
@@ -65,6 +66,21 @@ def _migrate_v1(payload: dict[str, Any]) -> dict[str, Any]:
 
 
 register_spec_migration(1, _migrate_v1)
+
+
+def _migrate_v2(payload: dict[str, Any]) -> dict[str, Any]:
+    """Version 2 → 3: the pre-tuning schema.
+
+    Every spec serialized before tuning profiles existed ran bare
+    engines — exactly what the ``normal`` profile means — so the
+    migration just makes that explicit.
+    """
+    payload = dict(payload)
+    payload.setdefault("tuning", "normal")
+    return payload
+
+
+register_spec_migration(2, _migrate_v2)
 
 
 def _env_chunk_size() -> int | None:
@@ -151,6 +167,12 @@ class BenchmarkSpec:
     #: per-partition combiner batching on MapReduce).  The default is
     #: version-safe: old serialized specs simply get "row".
     layout: str = "row"
+    #: Tuning profile name applied to every resolved engine: "normal"
+    #: (bare engines — the historical behavior and what v2 payloads
+    #: migrate to), "optimized", or a per-knob one-off spelled
+    #: "normal+<knob>" (see :mod:`repro.tuning.profiles`).  Non-normal
+    #: profiles fork the run-store series via the spec fingerprint.
+    tuning: str = "normal"
 
     @property
     def should_record(self) -> bool:
@@ -296,6 +318,15 @@ class BenchmarkSpec:
                     f"workload {workload_name!r} does not support engine "
                     f"{engine_name!r}; supported: {workload.supported_engines()}"
                 )
+        if self.tuning != "normal":
+            # TuningError subclasses SpecError, so an unknown or
+            # unbuildable profile fails spec validation like any other
+            # bad field.  Imported lazily: core.spec must not pull the
+            # tuning package in at import time.
+            from repro.tuning.profiles import get_profile
+
+            for engine_name in self.resolved_engines(repository):
+                get_profile(engine_name, self.tuning)
 
     def resolved_engines(self, repository: PrescriptionRepository) -> list[str]:
         """The engines to run on, defaulting to all supported ones."""

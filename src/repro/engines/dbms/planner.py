@@ -235,9 +235,16 @@ class Planner:
                     break
         if operator is None:
             if columnar:
+                # Push the table-local predicate into the scan itself:
+                # the fused scan only materializes untouched columns
+                # for surviving positions (see ColumnarScan).
                 operator = ColumnarScan(
-                    table, cost, batch_size=self.config.batch_size
+                    table,
+                    cost,
+                    batch_size=self.config.batch_size,
+                    predicate=conjoin(local),
                 )
+                local = []
             else:
                 operator = SeqScan(table, cost)
         residual = conjoin(local)

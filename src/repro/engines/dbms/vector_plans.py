@@ -141,25 +141,41 @@ class VectorOperator(ABC):
 
 
 class ColumnarScan(VectorOperator):
-    """Full scan of a table's columnar view, one batch per slice."""
+    """Full scan of a table's columnar view, one batch per slice.
+
+    With a pushed-down ``predicate``, the scan evaluates it over only
+    the column vectors the predicate references and materializes the
+    remaining columns just for the surviving positions — a batch whose
+    rows are all filtered out never touches the untouched columns at
+    all.  Cost parity with the unfused ``ColumnarScan`` → ``BatchFilter``
+    pair is preserved exactly: ``records_read`` bumps once per scanned
+    row and ``compute_ops`` once per predicate evaluation, so the
+    architecture metrics cannot tell the plans apart; the win shows up
+    in wall-clock ``duration`` (and one fewer operator in ``batches``).
+    """
 
     def __init__(
         self,
         table: HeapTable,
         cost: CostCounters,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        predicate: Expression | None = None,
     ) -> None:
         super().__init__(cost)
         if batch_size <= 0:
             raise EngineError(f"batch_size must be positive, got {batch_size}")
         self.table = table
         self.batch_size = batch_size
+        self.predicate = predicate
 
     @property
     def schema(self) -> tuple[str, ...]:
         return self.table.schema
 
     def batches(self) -> Iterator[ColumnBatch]:
+        if self.predicate is not None:
+            yield from self._filtered_batches()
+            return
         view = self.table.columnar()
         columns = [view.column(name) for name in view.schema]
         total = view.num_rows
@@ -174,13 +190,55 @@ class ColumnarScan(VectorOperator):
                 count,
             )
 
+    def _filtered_batches(self) -> Iterator[ColumnBatch]:
+        view = self.table.columnar()
+        schema = view.schema
+        needed = self.predicate.columns() & set(schema)
+        columns = {name: view.column(name) for name in schema}
+        total = view.num_rows
+        for start in range(0, total, self.batch_size):
+            stop = min(start + self.batch_size, total)
+            count = stop - start
+            self.cost.records_read += count
+            self.cost.compute_ops += count
+            # Only the predicate's columns are sliced for evaluation.
+            predicate_map = {
+                name: columns[name][start:stop] for name in needed
+            }
+            mask = self.predicate.evaluate_batch(predicate_map, count)
+            selection = [
+                position for position, keep in enumerate(mask) if keep
+            ]
+            if not selection:
+                continue
+            self.cost.batches += 1
+            if len(selection) == count:
+                yield ColumnBatch(
+                    schema,
+                    [columns[name][start:stop] for name in schema],
+                    count,
+                )
+            else:
+                yield ColumnBatch(
+                    schema,
+                    [
+                        [columns[name][start + position]
+                         for position in selection]
+                        for name in schema
+                    ],
+                    len(selection),
+                )
+
     def explain(self) -> dict[str, Any]:
-        return {
+        explained: dict[str, Any] = {
             "op": "ColumnarScan",
             "table": self.table.name,
             "rows": len(self.table),
             "batch_size": self.batch_size,
         }
+        if self.predicate is not None:
+            explained["predicate"] = repr(self.predicate)
+        return explained
 
 
 class ColumnarIndexScan(VectorOperator):

@@ -199,6 +199,13 @@ class RunTask:
     #: Record-batch size: when set, the data set is bound as a lazily
     #: streaming source (bounded memory) instead of a materialized list.
     chunk_size: int | None = None
+    #: Tuning-profile fingerprint payload (see
+    #: :meth:`repro.tuning.profiles.TuningProfile.fingerprint`) for the
+    #: run store: None for the normal profile (historical series stay
+    #: intact), a dict for tuned profiles (forks the series).  Purely a
+    #: recording annotation — the knobs themselves travel in
+    #: ``configuration``.
+    tuning: Any = None
 
 
 class TestRunner:
@@ -554,6 +561,7 @@ class TestRunner:
                 # it (row when the engine has no layout notion), so
                 # columnar runs land in their own comparable series.
                 layout=outcome.extra.get("layout", "row"),
+                tuning=task.tuning,
             )
             self.store.record_outcome(
                 outcome, fingerprint, environment=environment

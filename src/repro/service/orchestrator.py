@@ -391,10 +391,31 @@ class Orchestrator:
         """
         from repro.execution.config import default_configurations, layout_options
         from repro.execution.runner import RunTask
+        from repro.tuning.profiles import get_profile
 
         runner = self._runner_for(spec)
         configurations = default_configurations()
-        engine_options = layout_options(spec.layout)
+        engine_names = spec.resolved_engines(self.repository)
+        profiles = {
+            name: get_profile(name, spec.tuning) for name in engine_names
+        }
+        layout_opts = layout_options(spec.layout)
+        # Per-engine option overlay: layout options first, then the
+        # tuning profile's knobs (profile wins on conflict).
+        engine_options = {
+            name: {
+                **layout_opts.get(name, {}),
+                **(
+                    profiles[name].engine_options()
+                    if name in profiles
+                    else {}
+                ),
+            }
+            for name in set(engine_names) | set(layout_opts)
+        }
+        engine_options = {
+            name: options for name, options in engine_options.items() if options
+        }
         if engine_options:
             from dataclasses import replace
 
@@ -442,8 +463,9 @@ class Orchestrator:
                     else None
                 ),
                 chunk_size=spec.chunk_size,
+                tuning=profiles[engine_name].fingerprint(),
             )
-            for engine_name in spec.resolved_engines(self.repository)
+            for engine_name in engine_names
         ]
         return runner.run_many(tasks)
 

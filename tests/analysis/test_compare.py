@@ -202,3 +202,72 @@ class TestCompareSeries:
     def test_empty_series_raise(self):
         with pytest.raises(AnalysisError, match="empty record series"):
             compare_series([], [])
+
+
+class TestAblationEdgeCases:
+    """The paired-cell shapes the tuning-ablation driver feeds through
+    compare_records: single-repeat cells, identical-sample ties, and
+    all-regressed matrices must come out deterministic."""
+
+    def _cell(self, samples):
+        return RunResult(
+            "t", "w", "e", len(samples),
+            metrics={"duration": MetricStats("duration", samples)},
+        )
+
+    def test_single_repeat_cells_within_guard_are_inconclusive(self):
+        comparison = compare_records(
+            self._cell([1.0]), self._cell([1.1]), metrics=["duration"]
+        )
+        lead = comparison.metrics["duration"]
+        # +10% is beyond tolerance but under the 3x single-sample
+        # guard: one sample per side cannot earn a directional verdict.
+        assert lead.baseline_n == lead.candidate_n == 1
+        assert lead.verdict == "inconclusive"
+        assert lead.ci_low is None and lead.p_value is None
+
+    def test_single_repeat_cells_beyond_guard_are_directional(self):
+        factor = 1 + SINGLE_SAMPLE_FACTOR * 0.05 + 0.01
+        slower = compare_records(
+            self._cell([1.0]), self._cell([factor]), metrics=["duration"]
+        )
+        assert slower.metrics["duration"].verdict == "regressed"
+        faster = compare_records(
+            self._cell([1.0]), self._cell([2 - factor]), metrics=["duration"]
+        )
+        assert faster.metrics["duration"].verdict == "improved"
+
+    def test_identical_sample_ties_are_unchanged(self):
+        tied = [1.0, 1.0, 1.0, 1.0, 1.0]
+        comparison = compare_records(
+            self._cell(tied), self._cell(list(tied)), metrics=["duration"]
+        )
+        lead = comparison.metrics["duration"]
+        assert lead.verdict == "unchanged"
+        assert lead.relative_delta == 0.0
+
+    def test_all_regressed_matrix_is_deterministic(self):
+        pairs = [
+            (BASELINE, SLOWER),
+            ([2.0, 2.02, 1.98, 2.01, 1.99], [3.1, 3.08, 3.12, 3.09, 3.11]),
+            ([0.5, 0.51, 0.49, 0.50, 0.52], [0.9, 0.91, 0.89, 0.90, 0.92]),
+        ]
+        first = [
+            compare_records(
+                self._cell(base), self._cell(cand),
+                metrics=["duration"], seed=0,
+            ).as_dict()
+            for base, cand in pairs
+        ]
+        second = [
+            compare_records(
+                self._cell(base), self._cell(cand),
+                metrics=["duration"], seed=0,
+            ).as_dict()
+            for base, cand in pairs
+        ]
+        assert first == second
+        assert all(
+            payload["metrics"]["duration"]["verdict"] == "regressed"
+            for payload in first
+        )

@@ -126,6 +126,69 @@ class TestSpecVersioning:
             register_spec_migration(1, lambda payload: payload)
 
 
+class TestTuningField:
+    """v3 added ``tuning``; v2 payloads (and v1 before them) load as
+    the ``normal`` profile — the bare engines they actually ran."""
+
+    def test_default_is_normal(self):
+        assert BenchmarkSpec("micro-wordcount").tuning == "normal"
+
+    def test_v2_payload_migrates_to_normal(self):
+        spec = BenchmarkSpec.from_dict(
+            {"spec_version": 2, "prescription": "micro-wordcount",
+             "engines": ["mapreduce"], "volume": 50}
+        )
+        assert spec.tuning == "normal"
+        assert spec.volume == 50
+
+    def test_v1_payload_migrates_through_the_chain(self):
+        spec = BenchmarkSpec.from_dict(
+            {"prescription": "micro-wordcount", "engine": "mapreduce"}
+        )
+        assert spec.engines == ["mapreduce"]
+        assert spec.tuning == "normal"
+
+    def test_v2_explicit_tuning_survives_migration(self):
+        # A v2 payload cannot legally carry tuning (the field is v3),
+        # but setdefault-based migration must not clobber one written
+        # by a forward-porting tool.
+        spec = BenchmarkSpec.from_dict(
+            {"spec_version": 2, "prescription": "micro-wordcount",
+             "tuning": "optimized"}
+        )
+        assert spec.tuning == "optimized"
+
+    def test_round_trip_keeps_tuning(self):
+        spec = BenchmarkSpec(
+            "database-aggregate-join", engines=["dbms"], tuning="optimized"
+        )
+        payload = spec.as_dict()
+        assert payload["spec_version"] == SPEC_VERSION
+        assert payload["tuning"] == "optimized"
+        assert BenchmarkSpec.from_dict(payload) == spec
+
+    def test_validate_accepts_builtin_profiles(self, repository):
+        BenchmarkSpec(
+            "database-aggregate-join", engines=["dbms"], tuning="optimized"
+        ).validate(repository)
+        BenchmarkSpec(
+            "micro-wordcount", tuning="normal+combine_batch_records"
+        ).validate(repository)
+
+    def test_validate_rejects_unknown_profile(self, repository):
+        with pytest.raises(SpecError, match="unknown tuning profile"):
+            BenchmarkSpec(
+                "micro-wordcount", tuning="hyperspeed"
+            ).validate(repository)
+
+    def test_validate_rejects_one_off_for_wrong_engine(self, repository):
+        with pytest.raises(SpecError, match="no optimized knob"):
+            BenchmarkSpec(
+                "database-aggregate-join", engines=["dbms"],
+                tuning="normal+combine_batch_records",
+            ).validate(repository)
+
+
 def make_workload_result(duration: float, engine: str = "mapreduce") -> WorkloadResult:
     return WorkloadResult(
         workload="wl", engine=engine, output=None,

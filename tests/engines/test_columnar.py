@@ -388,3 +388,128 @@ class TestRowColumnarProperty:
             assert [repr(r) for r in columnar.rows] == [
                 repr(r) for r in row.rows
             ], statement
+
+
+class TestPredicatePushdown:
+    """Filters fused into ColumnarScan: untouched columns are only
+    materialized for surviving positions, cost parity stays exact."""
+
+    def _table(self, rows=10):
+        table = HeapTable("t", ("a", "b"))
+        for value in range(rows):
+            table.insert((value, f"v{value}"))
+        return table
+
+    def test_fused_scan_matches_unfused_rows(self):
+        table = self._table()
+        predicate = col("a") >= lit(5)
+        fused = ColumnarScan(
+            table, CostCounters(), batch_size=4, predicate=predicate
+        )
+        unfused = BatchFilter(
+            ColumnarScan(table, CostCounters(), batch_size=4),
+            predicate,
+            CostCounters(),
+        )
+        assert list(fused.rows()) == list(unfused.rows())
+
+    def test_cost_parity_with_unfused_pair(self):
+        table = self._table()
+        fused_cost = CostCounters()
+        list(ColumnarScan(
+            table, fused_cost, batch_size=4, predicate=col("a") >= lit(5)
+        ).batches())
+        unfused_cost = CostCounters()
+        list(BatchFilter(
+            ColumnarScan(table, unfused_cost, batch_size=4),
+            col("a") >= lit(5),
+            unfused_cost,
+        ).batches())
+        assert fused_cost.records_read == unfused_cost.records_read == 10
+        assert fused_cost.compute_ops == unfused_cost.compute_ops == 10
+
+    def test_all_dropped_batch_emits_nothing(self):
+        table = self._table()
+        cost = CostCounters()
+        scan = ColumnarScan(
+            table, cost, batch_size=5, predicate=col("a") > lit(100)
+        )
+        assert list(scan.batches()) == []
+        # Every row was still scanned and evaluated (cost parity)...
+        assert cost.records_read == 10
+        assert cost.compute_ops == 10
+        # ...but no batch was ever emitted.
+        assert cost.batches == 0
+
+    def test_fully_surviving_batch_is_a_cheap_slice(self):
+        table = self._table()
+        cost = CostCounters()
+        scan = ColumnarScan(
+            table, cost, batch_size=5, predicate=col("a") >= lit(0)
+        )
+        batches = list(scan.batches())
+        assert [b.num_rows for b in batches] == [5, 5]
+        assert cost.batches == 2
+
+    def test_untouched_columns_not_materialized_for_dropped_rows(self):
+        table = self._table()
+
+        class CountingSeq:
+            """Wraps the b column to count per-position gathers."""
+
+            def __init__(self, inner):
+                self.inner = inner
+                self.touches = 0
+
+            def __getitem__(self, key):
+                if isinstance(key, int):
+                    self.touches += 1
+                return self.inner[key]
+
+            def __len__(self):
+                return len(self.inner)
+
+        view = table.columnar()
+        counting = CountingSeq(list(view.column("b")))
+        original_column = view.column
+
+        def patched(name):
+            return counting if name == "b" else original_column(name)
+
+        view.column = patched
+        scan = ColumnarScan(
+            table, CostCounters(), batch_size=10, predicate=col("a") >= lit(8)
+        )
+        scan.table.columnar = lambda: view
+        rows = list(scan.rows())
+        assert [row[0] for row in rows] == [8, 9]
+        # Only the two survivors gathered from the untouched column.
+        assert counting.touches == 2
+
+    def test_planner_fuses_local_predicate_into_the_scan(self, people_db):
+        query = (
+            people_db.query("people").where(col("age") > lit(26)).build()
+        )
+        result = people_db.execute(query, layout="columnar")
+        plan = result.plan
+        assert plan["op"] == "ColumnarScan"
+        assert "predicate" in plan
+
+    def test_planner_row_path_unchanged(self, people_db):
+        query = (
+            people_db.query("people").where(col("age") > lit(26)).build()
+        )
+        result = people_db.execute(query, layout="row")
+        assert result.plan["op"] == "Filter"
+
+    def test_fused_plan_agrees_with_row_plan(self, people_db):
+        query = (
+            people_db.query("people").where(col("age") > lit(26)).build()
+        )
+        row = people_db.execute(query, layout="row")
+        columnar = people_db.execute(query, layout="columnar")
+        assert [repr(r) for r in columnar.rows] == [
+            repr(r) for r in row.rows
+        ]
+        assert columnar.cost.records_read == row.cost.records_read
+        assert columnar.cost.compute_ops == row.cost.compute_ops

@@ -141,3 +141,26 @@ class TestLoadFacade:
             "period": 2.0, "amplitude": 0.5,
         }
         assert report.completed > 0
+
+
+class TestAblateFacade:
+    def test_ablate_is_a_blessed_name(self):
+        assert "ablate" in api.__all__
+        assert hasattr(repro, "ablate")
+
+    def test_ablate_returns_a_judged_report(self, tmp_path):
+        report = api.ablate(
+            "relational", "dbms", repeats=2, volume=60,
+            include_one_offs=False, store_dir=str(tmp_path),
+        )
+        executed = [cell for cell in report.cells if cell.supported]
+        assert {cell.profile.name for cell in executed} == {
+            "normal", "optimized",
+        }
+        assert all(cell.record_id for cell in executed)
+        verdict = report.verdict_for(
+            "database-aggregate-join", "dbms", "optimized"
+        )
+        assert verdict.verdict in (
+            "improved", "regressed", "unchanged", "inconclusive",
+        )

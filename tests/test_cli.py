@@ -601,3 +601,38 @@ class TestLoad:
     def test_unknown_arrival_rejected_by_parser(self):
         with pytest.raises(SystemExit):
             run_cli("load", "--arrival", "sawtooth")
+
+
+class TestAblate:
+    """The tuning-ablation verb: matrix, verdicts, attribution."""
+
+    def test_ascii_report_with_record_ids(self, tmp_path):
+        code, output = run_cli(
+            "ablate", "--workloads", "relational", "--engines", "dbms",
+            "--repeats", "2", "--volume", "60", "--no-one-offs",
+            "--store-dir", str(tmp_path),
+        )
+        assert code == 0
+        assert "matrix" in output
+        assert "verdicts (vs normal)" in output
+        assert "optimized" in output
+        assert "r0001" in output  # every cell carries a run-store id
+
+    def test_json_style_parses_and_counts_cells(self, tmp_path):
+        code, output = run_cli(
+            "ablate", "--workloads", "relational", "--engines", "dbms",
+            "--repeats", "2", "--volume", "60", "--no-one-offs",
+            "--style", "json", "--store-dir", str(tmp_path),
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert len(payload["cells"]) == 2  # normal + optimized
+        assert payload["verdicts"]
+
+    def test_unknown_workload_fails_cleanly(self, tmp_path, capsys):
+        code, _ = run_cli(
+            "ablate", "--workloads", "tpc-h",
+            "--store-dir", str(tmp_path),
+        )
+        assert code != 0
+        assert "unknown workload" in capsys.readouterr().err

@@ -1,0 +1,224 @@
+"""The ablation driver: matrix expansion, recording, verdicts."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro  # noqa: F401 - triggers default registration
+from repro.analysis.store import RunStore
+from repro.core.errors import TuningError
+from repro.tuning import render_ablation, resolve_workloads, run_ablation
+
+
+class TestResolveWorkloads:
+    def test_exact_names_pass_through(self):
+        assert resolve_workloads("micro-wordcount") == ["micro-wordcount"]
+
+    def test_aliases_resolve(self):
+        assert resolve_workloads("relational,micro") == [
+            "database-aggregate-join",
+            "micro-wordcount",
+        ]
+
+    def test_unique_prefix_resolves(self):
+        assert resolve_workloads("search-page") == ["search-pagerank"]
+
+    def test_ambiguous_prefix_rejected(self):
+        with pytest.raises(TuningError, match="ambiguous"):
+            resolve_workloads("micro-")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(TuningError, match="unknown workload"):
+            resolve_workloads("tpc-h")
+
+    def test_empty_rejected(self):
+        with pytest.raises(TuningError, match="no workloads"):
+            resolve_workloads(" , ")
+
+    def test_duplicates_collapse(self):
+        assert resolve_workloads("micro,micro-wordcount") == [
+            "micro-wordcount"
+        ]
+
+
+@pytest.fixture(scope="module")
+def small_report(tmp_path_factory):
+    store_dir = tmp_path_factory.mktemp("ablate-store")
+    return run_ablation(
+        "relational,micro",
+        "dbms,mapreduce",
+        repeats=7,
+        warmup=1,
+        volume=500,
+        store_dir=str(store_dir),
+    )
+
+
+class TestMatrix:
+    def test_every_executed_cell_has_a_record_id(self, small_report):
+        executed = [c for c in small_report.cells if c.supported]
+        assert executed
+        assert all(cell.record_id for cell in executed)
+        assert all(cell.series for cell in executed)
+
+    def test_unsupported_cells_are_kept_but_not_run(self, small_report):
+        holes = [c for c in small_report.cells if not c.supported]
+        assert [(c.prescription, c.engine) for c in holes] == [
+            ("micro-wordcount", "dbms")
+        ]
+        assert holes[0].outcome is None
+        assert holes[0].status == "unsupported"
+
+    def test_normal_cells_keep_the_historical_series(self, small_report):
+        store = RunStore(small_report.store_dir)
+        for cell in small_report.cells:
+            if not cell.supported or not cell.profile.is_normal:
+                continue
+            record = store.get(cell.record_id)
+            assert "tuning" not in record.fingerprint
+
+    def test_tuned_cells_fork_their_series(self, small_report):
+        store = RunStore(small_report.store_dir)
+        normal_series = {
+            (c.prescription, c.engine): c.series
+            for c in small_report.cells
+            if c.supported and c.profile.is_normal
+        }
+        tuned = [
+            c
+            for c in small_report.cells
+            if c.supported and not c.profile.is_normal
+        ]
+        assert tuned
+        for cell in tuned:
+            record = store.get(cell.record_id)
+            assert record.fingerprint["tuning"]["profile"] == cell.profile.name
+            assert cell.series != normal_series[(cell.prescription, cell.engine)]
+
+    def test_verdicts_reference_record_ids(self, small_report):
+        assert small_report.verdicts
+        ids = {c.record_id for c in small_report.cells if c.record_id}
+        for verdict in small_report.verdicts:
+            assert verdict.comparison.baseline in ids
+            assert verdict.comparison.candidate in ids
+            assert verdict.verdict in (
+                "improved", "regressed", "unchanged", "inconclusive",
+            )
+
+    def test_optimized_dbms_improves_on_relational(self, small_report):
+        verdict = small_report.verdict_for(
+            "database-aggregate-join", "dbms", "optimized"
+        )
+        assert verdict is not None
+        assert verdict.verdict == "improved"
+
+    def test_attribution_covers_the_one_off_knobs(self, small_report):
+        knobs = {
+            (row["workload"], row["engine"], row["knob"])
+            for row in small_report.attribution_rows()
+        }
+        assert ("database-aggregate-join", "dbms", "layout") in knobs
+        assert (
+            "database-aggregate-join",
+            "mapreduce",
+            "combine_batch_records",
+        ) in knobs
+
+    def test_report_round_trips_to_json(self, small_report):
+        payload = json.loads(json.dumps(small_report.as_dict()))
+        assert payload["counts"] == small_report.counts()
+        assert len(payload["cells"]) == len(small_report.cells)
+
+
+class TestDeterminism:
+    def test_same_seed_reruns_are_byte_identical(self, tmp_path):
+        kwargs = dict(
+            repeats=3,
+            volume=60,
+            include_one_offs=False,
+            seed=0,
+        )
+        first = run_ablation(
+            "relational", "dbms", store_dir=str(tmp_path / "a"), **kwargs
+        )
+        second = run_ablation(
+            "relational", "dbms", store_dir=str(tmp_path / "b"), **kwargs
+        )
+        # Separate stores, same work: the identity of every cell — its
+        # spec fingerprint, and with it the series key — must come out
+        # byte for byte identical.  (Wall-clock samples inside the
+        # outcomes are measurements and legitimately vary.)
+        assert [c.series for c in first.cells] == [
+            c.series for c in second.cells
+        ]
+        first_store = RunStore(first.store_dir)
+        second_store = RunStore(second.store_dir)
+        for a, b in zip(first.cells, second.cells):
+            assert json.dumps(
+                first_store.get(a.record_id).fingerprint, sort_keys=True
+            ) == json.dumps(
+                second_store.get(b.record_id).fingerprint, sort_keys=True
+            )
+        # And judging is seeded: the same pair of outcomes compared
+        # twice yields identical statistics, byte for byte.
+        from repro.analysis.compare import compare_records
+
+        base = first.cell("database-aggregate-join", "dbms", "normal")
+        cand = first.cell("database-aggregate-join", "dbms", "optimized")
+        once = compare_records(
+            base.outcome, cand.outcome, metrics=["duration"], seed=0
+        ).as_dict()
+        twice = compare_records(
+            base.outcome, cand.outcome, metrics=["duration"], seed=0
+        ).as_dict()
+        assert json.dumps(once, sort_keys=True) == json.dumps(
+            twice, sort_keys=True
+        )
+
+
+class TestRendering:
+    def test_ascii_has_all_sections(self, small_report):
+        text = render_ablation(small_report, "ascii")
+        assert "matrix" in text
+        assert "verdicts (vs normal)" in text
+        assert "per-knob attribution" in text
+        for cell in small_report.cells:
+            if cell.record_id:
+                assert cell.record_id in text
+
+    def test_markdown_uses_pipe_tables(self, small_report):
+        text = render_ablation(small_report, "markdown")
+        assert "## verdicts (vs normal)" in text
+        assert "| profile" in text or "profile |" in text
+
+    def test_json_parses(self, small_report):
+        payload = json.loads(render_ablation(small_report, "json"))
+        assert payload["verdicts"]
+
+    def test_unknown_style_rejected(self, small_report):
+        with pytest.raises(TuningError, match="unknown ablation render"):
+            render_ablation(small_report, "yaml")
+
+
+class TestServicePath:
+    def test_cells_run_as_queued_jobs(self, tmp_path):
+        report = run_ablation(
+            "relational",
+            "dbms",
+            repeats=2,
+            volume=60,
+            include_one_offs=False,
+            store_dir=str(tmp_path),
+            service=True,
+        )
+        executed = [c for c in report.cells if c.supported]
+        assert len(executed) == 2  # normal + optimized
+        assert all(cell.record_id for cell in executed)
+        store = RunStore(str(tmp_path))
+        tuned = next(c for c in executed if not c.profile.is_normal)
+        assert (
+            store.get(tuned.record_id).fingerprint["tuning"]["profile"]
+            == "optimized"
+        )
